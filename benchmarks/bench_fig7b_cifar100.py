@@ -1,0 +1,42 @@
+"""Fig. 7(b) — ResNet-20 / CIFAR-100 accuracy under each quantization scheme.
+
+Same protocol as Fig. 7(a) but with the CIFAR-100 settings of Table II
+(W4 / A4 / 3-bit partial sums, 2 bits per cell).  Additionally prints the
+no-partial-sum-quantization reference (the coloured dashed lines of the
+figure) for the column-wise weight granularity.
+"""
+
+from conftest import bench_epochs, check_ordering, experiment
+
+from repro.analysis import build_loaders, print_table, run_related_work_comparison, run_scheme
+
+
+def run_fig7b():
+    config = experiment("cifar100")
+    epochs = bench_epochs(2, 5)
+    results = run_related_work_comparison(config, epochs=epochs, seed=0)
+
+    # dashed-line reference: column-wise weights without partial-sum quantization
+    train, test = build_loaders(config)
+    no_psq = run_scheme(config, config.scheme("column", "column", quantize_psum=False),
+                        train, test, training="qat", epochs=epochs, seed=0)
+    results["column_w_no_psq"] = no_psq
+    return results
+
+
+def test_fig7b_cifar100_scheme_comparison(benchmark):
+    results = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+    rows = [result.row() for result in results.values()]
+    print()
+    print_table(rows, title="Fig. 7(b) — CIFAR-100 accuracy by quantization scheme")
+
+    accuracy = {key: result.top1 for key, result in results.items()}
+    quantized = {k: v for k, v in accuracy.items()
+                 if k not in ("full_precision", "column_w_no_psq")}
+    print(f"\nours={accuracy['ours']:.4f}  best-of-related={max(quantized.values()):.4f}  "
+          f"no-PSQ reference={accuracy['column_w_no_psq']:.4f}")
+    check_ordering(accuracy["ours"] >= max(quantized.values()) - 0.05,
+                   "ours should be the best quantized scheme (Fig. 7b)")
+    # partial-sum quantization cannot beat its own no-PSQ upper bound by much
+    check_ordering(accuracy["ours"] <= accuracy["column_w_no_psq"] + 0.1,
+                   "partial-sum quantization should not beat its no-PSQ bound")

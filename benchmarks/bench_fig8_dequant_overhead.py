@@ -1,0 +1,47 @@
+"""Fig. 8 — accuracy vs dequantization overhead.
+
+Places all nine weight x partial-sum granularity combinations on the
+(dequantize multiplications per layer, accuracy) plane using the CIFAR-100
+settings of Table II.  The paper's claims checked here:
+
+* the overhead depends only on the partial-sum granularity
+  (layer < array < column), not on the weight granularity;
+* at equal overhead, finer weight granularity does not hurt — in particular
+  column/column is at least as accurate as layer/column for the same cost.
+"""
+
+from collections import defaultdict
+
+from conftest import bench_epochs, check_ordering, experiment
+
+from repro.analysis import print_table, run_overhead_sweep
+
+
+def run_fig8():
+    config = experiment("cifar100")
+    return run_overhead_sweep(config, epochs=bench_epochs(2, 4), seed=0)
+
+
+def test_fig8_accuracy_vs_dequant_overhead(benchmark):
+    points = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    rows = sorted((p.row() for p in points),
+                  key=lambda r: (r["dequant_mults_total"], r["weight_granularity"]))
+    print()
+    print_table(rows, title="Fig. 8 — accuracy vs dequantize-operation overhead (CIFAR-100, reduced)")
+
+    assert len(points) == 9
+    # overhead is a function of the partial-sum granularity only
+    overhead_by_psum = defaultdict(set)
+    for p in points:
+        overhead_by_psum[p.psum_granularity].add(p.dequant_mults_total)
+    assert all(len(v) == 1 for v in overhead_by_psum.values())
+    assert (min(overhead_by_psum["layer"]) < min(overhead_by_psum["array"])
+            <= min(overhead_by_psum["column"]))
+
+    # same-overhead comparison: column weights vs layer weights at column psum
+    by_combo = {(p.weight_granularity, p.psum_granularity): p.top1 for p in points}
+    ours = by_combo[("column", "column")]
+    layer_w = by_combo[("layer", "column")]
+    print(f"\nsame-overhead accuracy: column/column={ours:.4f}  layer/column={layer_w:.4f}")
+    check_ordering(ours >= layer_w - 0.07,
+                   "column/column should match or beat layer/column at equal overhead")

@@ -1,0 +1,51 @@
+"""Fig. 9 — one-stage vs two-stage QAT: accuracy and training cost.
+
+Trains the four cases of Fig. 9 under an identical epoch budget:
+
+* (i)   column/column one-stage (ours),
+* (ii)  column/column two-stage,
+* (iii) layer/column  one-stage,
+* (iv)  layer/column  two-stage (Saxena [9]),
+
+then prints each case's best accuracy and wall-clock training time, plus the
+relative-cost markers the paper reports (e.g. case (i) reaching case (ii)'s
+best accuracy with less training cost).
+"""
+
+from conftest import bench_epochs, check_ordering, experiment
+
+from repro.analysis import print_table, relative_cost_to_reach, run_qat_schedule_comparison
+
+
+def run_fig9():
+    config = experiment("cifar10")
+    return run_qat_schedule_comparison(config, epochs=bench_epochs(3, 6), seed=0)
+
+
+def test_fig9_qat_schedule_cost(benchmark):
+    results = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    rows = [result.row() for result in results.values()]
+    print()
+    print_table(rows, title="Fig. 9 — QAT schedule comparison (accuracy / train time)")
+
+    assert set(results) == {"i_column_column_1stage", "ii_column_column_2stage",
+                            "iii_layer_column_1stage", "iv_layer_column_2stage"}
+    for marker, (reference, target) in {
+        "star (i reaches ii's best)": ("ii_column_column_2stage", "i_column_column_1stage"),
+        "circle (i/iii reach iii's best)": ("iii_layer_column_1stage", "i_column_column_1stage"),
+        "plus (ii/iv reach iv's best)": ("iv_layer_column_2stage", "ii_column_column_2stage"),
+    }.items():
+        saving = relative_cost_to_reach(results, reference, target)
+        print(f"{marker}: relative training-cost saving = "
+              f"{'not reached' if saving is None else f'{saving:+.1%}'}")
+
+    # structural claims that survive the reduced scale: every case trained for
+    # the same number of epochs and produced a sensible accuracy
+    epochs = {r.epochs for r in results.values()}
+    assert len(epochs) == 1
+    assert all(0.0 <= r.best_accuracy <= 1.0 for r in results.values())
+    # the aligned one-stage scheme should not be the worst of the four
+    ordered = sorted(results.values(), key=lambda r: r.best_accuracy)
+    check_ordering(ordered[0].case != "i_column_column_1stage"
+                   or ordered[0].best_accuracy == ordered[-1].best_accuracy,
+                   "the aligned one-stage scheme should not be the worst case")

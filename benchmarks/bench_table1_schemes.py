@@ -1,0 +1,28 @@
+"""Table I — related-work quantization schemes.
+
+Regenerates the qualitative comparison of Table I (granularity, training
+strategy, learnable scale factors) from the scheme registry and prints it in
+the paper's row order.
+"""
+
+from repro.analysis import print_table
+from repro.core import SCHEME_REGISTRY, table1_rows
+
+
+def build_table1():
+    rows = table1_rows()
+    assert len(rows) == len(SCHEME_REGISTRY)
+    return rows
+
+
+def test_table1_related_work_comparison(benchmark):
+    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Table I — related works on partial-sum quantization")
+    # the paper's qualitative claims
+    ours = next(r for r in rows if "Ours" in r["scheme"])
+    assert ours["weight_granularity"] == "column"
+    assert ours["psum_granularity"] == "column"
+    assert ours["weight_learnable_scale"] == "yes"
+    assert ours["psum_learnable_scale"] == "yes"
+    assert all(r["weight_granularity"] != "column" or "Ours" in r["scheme"] for r in rows)

@@ -1,0 +1,41 @@
+"""Table II — experimental settings.
+
+Regenerates the settings table (bit precisions, cells per weight, array size,
+training budget) from the experiment-configuration registry and checks the
+derived CIM macro parameters (number of bit-splits, ADC precision).
+"""
+
+from repro.analysis import print_table
+from repro.training import PAPER_EXPERIMENTS, paper_experiment
+
+
+def build_table2():
+    rows = []
+    for name, config in PAPER_EXPERIMENTS.items():
+        cim = config.cim_config()
+        rows.append({
+            "benchmark": name,
+            "model": config.model,
+            "activation_bits": config.act_bits,
+            "weight_bits": config.weight_bits,
+            "bits_per_cell": config.cell_bits,
+            "bit_splits": cim.n_splits(config.weight_bits),
+            "psum_bits": config.psum_bits,
+            "array_size": f"{config.array_size}x{config.array_size}",
+            "epochs": config.epochs,
+        })
+    return rows
+
+
+def test_table2_experimental_settings(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    print()
+    print_table(rows, title="Table II — experimental settings")
+
+    by_name = {r["benchmark"]: r for r in rows}
+    assert by_name["cifar10"]["weight_bits"] == 3 and by_name["cifar10"]["bits_per_cell"] == 1
+    assert by_name["cifar10"]["bit_splits"] == 3          # 3b weights on 1b cells
+    assert by_name["cifar100"]["bit_splits"] == 2         # 4b weights on 2b cells
+    assert by_name["imagenet"]["bit_splits"] == 1         # 3b weights on 3b cells
+    assert by_name["imagenet"]["array_size"] == "256x256"
+    assert paper_experiment("cifar10").epochs == 200

@@ -1,0 +1,33 @@
+"""Table III — ResNet-18 / ImageNet accuracy by quantization scheme.
+
+Reproduces the Table III protocol (W3 / A3 / 2-bit partial sums, 3 bits per
+cell, 256x256 arrays) on the reduced ImageNet-like configuration and prints
+one row per scheme, in the same order as the paper's table.
+"""
+
+from conftest import bench_epochs, check_ordering, experiment
+
+from repro.analysis import print_table, run_related_work_comparison
+
+
+def run_table3():
+    config = experiment("imagenet")
+    return run_related_work_comparison(config, epochs=bench_epochs(2, 4), seed=0)
+
+
+def test_table3_imagenet_scheme_comparison(benchmark):
+    results = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    order = ["full_precision", "kim", "bai", "saxena_date22", "saxena_islped23", "ours"]
+    rows = [results[key].row() for key in order]
+    print()
+    print_table(rows, title="Table III — ImageNet (reduced) accuracy by scheme")
+
+    accuracy = {key: results[key].top1 for key in order}
+    quantized = {k: v for k, v in accuracy.items() if k != "full_precision"}
+    print(f"\nours={accuracy['ours']:.4f}  best-of-related={max(quantized.values()):.4f}  "
+          f"fp={accuracy['full_precision']:.4f}")
+    # Table III shape: ours is the closest quantized scheme to full precision
+    check_ordering(accuracy["ours"] >= max(quantized.values()) - 0.05,
+                   "ours should be the best quantized scheme (Table III)")
+    check_ordering(accuracy["full_precision"] >= accuracy["ours"] - 0.1,
+                   "full precision should upper-bound the quantized model")

@@ -1,0 +1,56 @@
+"""Granularity sweep: the experiment behind Fig. 7 / Fig. 8 of the paper.
+
+Trains the same reduced ResNet under every weight x partial-sum granularity
+combination, then prints accuracy together with the dequantization overhead
+of each combination — showing that column/column improves accuracy *without*
+costing more than layer/column.
+
+Run:
+    python examples/granularity_sweep.py [--epochs N]
+"""
+
+import argparse
+
+from repro.analysis import (build_loaders, compute_overhead_table, print_table,
+                            run_scheme)
+from repro.core import all_granularity_combinations
+from repro.training import reduced_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=4, help="training epochs per scheme")
+    parser.add_argument("--dataset", default="cifar10",
+                        choices=["cifar10", "cifar100", "imagenet"])
+    args = parser.parse_args()
+
+    config = reduced_experiment(args.dataset)
+    config = config.reduced(image_size=12, train_samples=256, test_samples=128,
+                            num_classes=min(config.num_classes, 10), batch_size=32)
+    train, test = build_loaders(config)
+
+    overhead = {(p.weight_granularity, p.psum_granularity): p
+                for p in compute_overhead_table(config)}
+
+    rows = []
+    for scheme in all_granularity_combinations(config.weight_bits, config.act_bits,
+                                               config.psum_bits):
+        print(f"training {scheme.label()} ...")
+        result = run_scheme(config, scheme, train, test, training="qat",
+                            epochs=args.epochs, seed=0)
+        point = overhead[(scheme.weight_granularity.value, scheme.psum_granularity.value)]
+        rows.append({
+            "weight_granularity": scheme.weight_granularity.value,
+            "psum_granularity": scheme.psum_granularity.value,
+            "top1": round(result.top1, 4),
+            "dequant_mults_per_layer": round(point.dequant_mults_per_layer_mean, 1),
+            "train_seconds": round(result.train_seconds, 1),
+        })
+
+    rows.sort(key=lambda r: (r["dequant_mults_per_layer"], r["weight_granularity"]))
+    print()
+    print_table(rows, title="Accuracy vs granularity vs dequantization overhead (Fig. 7 / Fig. 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: train a CIM-quantized CNN with column-wise weight and
+partial-sum quantization (the paper's scheme) on a synthetic CIFAR-10-like
+task and compare it against the full-precision baseline.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.analysis import print_table
+from repro.cim import CIMConfig, QuantScheme
+from repro.data import standard_augmentation, synthetic_cifar10, test_loader, train_loader
+from repro.models import resnet8
+from repro.training import QATTrainer, TrainerConfig, evaluate
+
+
+def main() -> None:
+    # 1. data: a synthetic CIFAR-10 stand-in (offline substitute, see DESIGN.md)
+    dataset = synthetic_cifar10(image_size=16, train_samples=512, test_samples=256)
+    train = train_loader(dataset, batch_size=32, transform=standard_augmentation())
+    test = test_loader(dataset, batch_size=64)
+
+    # 2. hardware: a 64x64 crossbar with 1-bit cells and 3-bit ADCs
+    cim = CIMConfig(array_rows=64, array_cols=64, cell_bits=1, adc_bits=3)
+
+    # 3. the paper's quantization scheme: column-wise weights AND partial sums,
+    #    learnable LSQ scales, single-stage QAT from scratch
+    ours = QuantScheme(name="ours", weight_bits=3, act_bits=3, psum_bits=3,
+                       weight_granularity="column", psum_granularity="column")
+
+    results = []
+    for label, scheme in [("full-precision", None), ("ours (column/column)", ours)]:
+        model = resnet8(num_classes=10, scheme=scheme, cim_config=cim,
+                        width_multiplier=0.5, seed=0)
+        trainer = QATTrainer(model, train, test,
+                             TrainerConfig(epochs=5, lr=0.05, log_every=1))
+        print(f"\n=== training {label} ===")
+        history = trainer.fit()
+        stats = evaluate(model, test)
+        results.append({
+            "model": label,
+            "params": model.num_parameters(),
+            "best_test_top1": round(history.best_test_accuracy, 4),
+            "final_test_top1": round(stats["top1"], 4),
+            "train_seconds": round(history.total_seconds, 1),
+        })
+
+    print()
+    print_table(results, title="Quickstart summary")
+
+
+if __name__ == "__main__":
+    main()

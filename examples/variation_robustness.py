@@ -1,0 +1,51 @@
+"""Variation robustness: the experiment behind Fig. 10 of the paper.
+
+Trains the paper's column/column scheme and the layer/column baseline
+(Saxena [9]), then evaluates both under increasing log-normal memory-cell
+variation (Eq. 5) with Monte-Carlo sampling.
+
+Run:
+    python examples/variation_robustness.py [--epochs N] [--trials K]
+"""
+
+import argparse
+
+from repro.analysis import (build_experiment_model, build_loaders, format_series,
+                            print_table, run_variation_sweep)
+from repro.training import QATTrainer, TrainerConfig, reduced_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--trials", type=int, default=3, help="Monte-Carlo trials per sigma")
+    args = parser.parse_args()
+
+    config = reduced_experiment("cifar10").reduced(
+        image_size=12, train_samples=256, test_samples=128, batch_size=32)
+    train, test = build_loaders(config)
+
+    models = {}
+    for name, (wg, pg) in {"ours (column/column)": ("column", "column"),
+                           "Saxena [9] (layer/column)": ("layer", "column")}.items():
+        print(f"training {name} ...")
+        model = build_experiment_model(config, config.scheme(wg, pg), seed=0)
+        QATTrainer(model, train, test,
+                   TrainerConfig(epochs=args.epochs, lr=config.lr)).fit()
+        models[name] = model
+
+    sigmas = (0.0, 0.05, 0.10, 0.15, 0.20, 0.25)
+    points = run_variation_sweep(models, test, sigmas=sigmas, trials=args.trials, seed=0)
+
+    print()
+    print_table([p.row() for p in points],
+                title="Fig. 10 — accuracy under memory-cell variation")
+    for name in models:
+        series = [p for p in points if p.scheme == name]
+        print()
+        print(format_series(name, [p.sigma for p in series],
+                            [p.mean_top1 for p in series], "sigma", "top1"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The environment this reproduction targets has no network access and no
+``wheel`` distribution, so PEP 660 editable installs (which build a wheel)
+fail.  Keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517`` and
+plain ``python setup.py develop`` work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of "Column-wise Quantization of Weights and Partial Sums for
+Accurate and Efficient Compute-In-Memory Accelerators" (DATE 2025).
+
+Sub-packages
+------------
+``repro.nn``
+    NumPy autograd / neural-network substrate (stands in for PyTorch).
+``repro.quant``
+    Granularity-aware quantizers: LSQ with learnable per-column scales,
+    PTQ observers, weight bit-splitting.
+``repro.cim``
+    Behavioural compute-in-memory crossbar model: array tiling, ADC/DAC,
+    device variation, dequantization-overhead cost model.
+``repro.core``
+    The paper's contribution: CIM convolution / linear layers with
+    column-wise weight and partial-sum quantization, and the quantization
+    scheme registry reproducing related work.
+``repro.models``
+    ResNet-20 / ResNet-18 and reduced variants.
+``repro.data``
+    Synthetic CIFAR-like / ImageNet-like datasets and loaders.
+``repro.training``
+    One-stage and two-stage QAT trainers, PTQ calibration, metrics.
+``repro.analysis``
+    Experiment drivers reproducing every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401
+from . import quant  # noqa: F401
+from . import cim  # noqa: F401
+from . import core  # noqa: F401
+from . import models  # noqa: F401
+from . import data  # noqa: F401
+from . import training  # noqa: F401
+from . import analysis  # noqa: F401
+
+__all__ = ["nn", "quant", "cim", "core", "models", "data", "training", "analysis",
+           "__version__"]

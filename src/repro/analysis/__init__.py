@@ -1,0 +1,25 @@
+"""``repro.analysis`` — experiment drivers reproducing the paper's tables and figures."""
+
+from .common import build_dataset, build_experiment_model, build_loaders, seed_everything
+from .distribution import (ColumnDistribution, compare_psum_distributions,
+                           record_psum_distribution)
+from .granularity import (SchemeResult, run_fp_baseline, run_granularity_grid,
+                          run_related_work_comparison, run_scheme)
+from .overhead import OverheadPoint, compute_overhead_table, run_overhead_sweep
+from .qat_schedules import (FIG9_CASES, QATScheduleResult, relative_cost_to_reach,
+                            run_qat_schedule_comparison)
+from .report import format_series, format_table, markdown_table, print_table
+from .robustness import (DEFAULT_SIGMAS, VariationPoint, evaluate_under_variation,
+                         run_variation_sweep)
+
+__all__ = [
+    "build_dataset", "build_loaders", "build_experiment_model", "seed_everything",
+    "SchemeResult", "run_scheme", "run_fp_baseline", "run_related_work_comparison",
+    "run_granularity_grid",
+    "ColumnDistribution", "record_psum_distribution", "compare_psum_distributions",
+    "OverheadPoint", "compute_overhead_table", "run_overhead_sweep",
+    "QATScheduleResult", "FIG9_CASES", "run_qat_schedule_comparison",
+    "relative_cost_to_reach",
+    "VariationPoint", "evaluate_under_variation", "run_variation_sweep", "DEFAULT_SIGMAS",
+    "format_table", "print_table", "format_series", "markdown_table",
+]

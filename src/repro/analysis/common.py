@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..data.loaders import DataLoader, test_loader, train_loader
+from ..data.synthetic import DatasetSpec, SyntheticImageDataset
+from ..data.transforms import standard_augmentation
+from ..models.registry import build_model
+from ..nn.module import Module
+from ..training.configs import ExperimentConfig
+from ..training.trainer import TrainerConfig
+
+__all__ = ["build_dataset", "build_loaders", "build_experiment_model", "seed_everything"]
+
+_DATASET_SEEDS = {"cifar10": 0, "cifar100": 1, "imagenet": 2}
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Return a seeded generator; the library threads explicit RNGs everywhere."""
+    return np.random.default_rng(seed)
+
+
+def build_dataset(config: ExperimentConfig) -> SyntheticImageDataset:
+    """Build the synthetic dataset matching an experiment configuration."""
+    spec = DatasetSpec(
+        name=f"synthetic-{config.dataset}",
+        num_classes=config.num_classes,
+        image_size=config.image_size,
+        train_samples=config.train_samples,
+        test_samples=config.test_samples,
+        seed=_DATASET_SEEDS.get(config.dataset, 0),
+    )
+    return SyntheticImageDataset(spec)
+
+
+def build_loaders(config: ExperimentConfig,
+                  dataset: Optional[SyntheticImageDataset] = None,
+                  augment: bool = True) -> Tuple[DataLoader, DataLoader]:
+    """Return ``(train, test)`` loaders for an experiment configuration."""
+    dataset = dataset or build_dataset(config)
+    transform = standard_augmentation() if augment else None
+    return (train_loader(dataset, batch_size=config.batch_size, transform=transform),
+            test_loader(dataset, batch_size=max(config.batch_size, 64)))
+
+
+def build_experiment_model(config: ExperimentConfig, scheme: Optional[QuantScheme],
+                           cim_config: Optional[CIMConfig] = None,
+                           seed: int = 0) -> Module:
+    """Instantiate the experiment's model (FP when ``scheme`` is ``None``)."""
+    cim_config = cim_config or config.cim_config()
+    kwargs = {}
+    if config.model in ("resnet20", "resnet18", "resnet8"):
+        kwargs["width_multiplier"] = config.width_multiplier
+        kwargs["seed"] = seed
+    elif config.model in ("simple_cnn", "tiny_cnn"):
+        kwargs["seed"] = seed
+    return build_model(config.model, num_classes=config.num_classes,
+                       scheme=scheme, cim_config=cim_config, **kwargs)

@@ -1,0 +1,155 @@
+"""Granularity-sweep experiment driver (Fig. 7, Table III).
+
+Runs the same model / dataset / bit-width configuration under different
+weight and partial-sum quantization granularities (and under the related-work
+schemes of Table I), trains each with its prescribed procedure (one-stage
+QAT, two-stage QAT, or PTQ from a pretrained FP model), and reports test
+accuracy.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cim.config import QuantScheme
+from ..core.schemes import SCHEME_REGISTRY, all_granularity_combinations, get_scheme
+from ..data.loaders import DataLoader
+from ..nn.module import Module
+from ..training.configs import ExperimentConfig
+from ..training.metrics import TrainingHistory, evaluate
+from ..training.ptq import PTQConfig, ptq_quantize
+from ..training.trainer import QATTrainer, TrainerConfig
+from ..training.two_stage import TwoStageConfig, TwoStageQATTrainer
+from .common import build_experiment_model, build_loaders
+
+__all__ = ["SchemeResult", "run_scheme", "run_fp_baseline", "run_related_work_comparison",
+           "run_granularity_grid"]
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of training one quantization scheme."""
+
+    scheme_name: str
+    weight_granularity: str
+    psum_granularity: str
+    training: str
+    top1: float
+    top5: float
+    train_seconds: float
+    epochs: int
+    history: Optional[TrainingHistory] = None
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme_name,
+            "weight_granularity": self.weight_granularity,
+            "psum_granularity": self.psum_granularity,
+            "training": self.training,
+            "top1_accuracy": round(self.top1, 4),
+            "train_seconds": round(self.train_seconds, 2),
+            "epochs": self.epochs,
+        }
+
+
+def run_fp_baseline(config: ExperimentConfig, train: DataLoader, test: DataLoader,
+                    epochs: Optional[int] = None, seed: int = 0):
+    """Train the full-precision reference model (top dashed line of Fig. 7).
+
+    Returns ``(SchemeResult, trained model)``; the model is reused as the
+    pretrained starting point of the PTQ baselines.
+    """
+    model = build_experiment_model(config, scheme=None, seed=seed)
+    trainer = QATTrainer(model, train, test,
+                         TrainerConfig(epochs=epochs or config.epochs, lr=config.lr,
+                                       seed=seed))
+    history = trainer.fit()
+    stats = evaluate(model, test)
+    return SchemeResult("full_precision", "none", "none", "fp32",
+                        stats["top1"], stats["topk"], history.total_seconds,
+                        history.epochs, history), model
+
+
+def run_scheme(config: ExperimentConfig, scheme: QuantScheme, train: DataLoader,
+               test: DataLoader, training: str = "qat",
+               pretrained_fp: Optional[Module] = None,
+               epochs: Optional[int] = None, seed: int = 0) -> SchemeResult:
+    """Train / calibrate one quantization scheme and evaluate it.
+
+    ``training`` selects the procedure: ``"qat"`` (single-stage, the paper's),
+    ``"two-stage-qat"`` (Saxena baselines) or ``"ptq"`` (Kim / Bai baselines;
+    requires ``pretrained_fp``).
+    """
+    epochs = epochs or config.epochs
+    cim_config = config.cim_config()
+
+    if training == "ptq":
+        if pretrained_fp is None:
+            raise ValueError("PTQ requires a pretrained full-precision model")
+        model = ptq_quantize(copy.deepcopy(pretrained_fp), scheme, cim_config,
+                             calibration=train, config=PTQConfig())
+        stats = evaluate(model, test)
+        return SchemeResult(scheme.name, scheme.weight_granularity.value,
+                            scheme.psum_granularity.value, "ptq",
+                            stats["top1"], stats["topk"], 0.0, 0, None)
+
+    model = build_experiment_model(config, scheme=scheme, cim_config=cim_config, seed=seed)
+    if training == "two-stage-qat":
+        stage1 = max(1, int(round(epochs * 2 / 3)))
+        stage2 = max(1, epochs - stage1)
+        trainer = TwoStageQATTrainer(
+            model, train, test,
+            base_config=TrainerConfig(epochs=epochs, lr=config.lr, seed=seed),
+            stages=TwoStageConfig(stage1_epochs=stage1, stage2_epochs=stage2))
+        history = trainer.fit()
+    else:
+        trainer = QATTrainer(model, train, test,
+                             TrainerConfig(epochs=epochs, lr=config.lr, seed=seed))
+        history = trainer.fit()
+
+    stats = evaluate(model, test)
+    return SchemeResult(scheme.name, scheme.weight_granularity.value,
+                        scheme.psum_granularity.value, training,
+                        stats["top1"], stats["topk"], history.total_seconds,
+                        history.epochs, history)
+
+
+def run_related_work_comparison(config: ExperimentConfig, epochs: Optional[int] = None,
+                                seed: int = 0,
+                                keys: Optional[List[str]] = None) -> Dict[str, SchemeResult]:
+    """Reproduce one column of Fig. 7 / Table III: every Table I scheme + FP baseline.
+
+    Returns a mapping ``scheme key -> SchemeResult`` (including
+    ``"full_precision"``).  Models keep the experiment's bit widths; each
+    scheme is trained with its own procedure.
+    """
+    train, test = build_loaders(config)
+    results: Dict[str, SchemeResult] = {}
+
+    fp_result, fp_model = run_fp_baseline(config, train, test, epochs=epochs, seed=seed)
+    results["full_precision"] = fp_result
+
+    keys = keys or list(SCHEME_REGISTRY)
+    for key in keys:
+        info = SCHEME_REGISTRY[key]
+        scheme = get_scheme(key, weight_bits=config.weight_bits, act_bits=config.act_bits,
+                            psum_bits=config.psum_bits)
+        results[key] = run_scheme(config, scheme, train, test, training=info.training,
+                                  pretrained_fp=fp_model, epochs=epochs, seed=seed)
+    return results
+
+
+def run_granularity_grid(config: ExperimentConfig, epochs: Optional[int] = None,
+                         seed: int = 0, quantize_psum: bool = True) -> List[SchemeResult]:
+    """Train the full 3x3 grid of weight x partial-sum granularities (Fig. 7 markers)."""
+    train, test = build_loaders(config)
+    results = []
+    for scheme in all_granularity_combinations(config.weight_bits, config.act_bits,
+                                               config.psum_bits, quantize_psum):
+        results.append(run_scheme(config, scheme, train, test, training="qat",
+                                  epochs=epochs, seed=seed))
+    return results

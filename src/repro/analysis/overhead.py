@@ -1,0 +1,93 @@
+"""Accuracy vs dequantization-overhead analysis (Fig. 8).
+
+Fig. 8 places every weight x partial-sum granularity combination on an
+(overhead, accuracy) plane, where overhead is the number of dequantize
+multiplications per layer.  The paper's point: at equal overhead (set by the
+*partial-sum* granularity alone), finer *weight* granularity gives strictly
+better accuracy — in particular column/column costs the same as
+layer/column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cim.config import QuantScheme
+from ..core.convert import model_overhead
+from ..core.schemes import all_granularity_combinations
+from ..quant.granularity import Granularity
+from ..training.configs import ExperimentConfig
+from .common import build_experiment_model
+from .granularity import SchemeResult, run_scheme
+from ..data.loaders import DataLoader
+from .common import build_loaders
+
+__all__ = ["OverheadPoint", "compute_overhead_table", "run_overhead_sweep"]
+
+
+@dataclass
+class OverheadPoint:
+    """One marker of Fig. 8."""
+
+    weight_granularity: str
+    psum_granularity: str
+    dequant_mults_per_layer_mean: float
+    dequant_mults_total: int
+    top1: Optional[float] = None
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "weight_granularity": self.weight_granularity,
+            "psum_granularity": self.psum_granularity,
+            "dequant_mults_per_layer_mean": round(self.dequant_mults_per_layer_mean, 1),
+            "dequant_mults_total": self.dequant_mults_total,
+            "top1_accuracy": None if self.top1 is None else round(self.top1, 4),
+        }
+
+
+def compute_overhead_table(config: ExperimentConfig,
+                           schemes: Optional[List[QuantScheme]] = None) -> List[OverheadPoint]:
+    """Dequantization overhead of every granularity combination (no training).
+
+    Builds the experiment's model once per scheme (cheap — only the mapping
+    metadata is needed) and tallies the per-layer dequantize multiplications.
+    """
+    schemes = schemes or all_granularity_combinations(config.weight_bits, config.act_bits,
+                                                      config.psum_bits)
+    points = []
+    for scheme in schemes:
+        model = build_experiment_model(config, scheme=scheme)
+        overheads = model_overhead(model, scheme)
+        totals = [o.multiplications for o in overheads.values()]
+        points.append(OverheadPoint(
+            weight_granularity=scheme.weight_granularity.value,
+            psum_granularity=scheme.psum_granularity.value,
+            dequant_mults_per_layer_mean=float(np.mean(totals)) if totals else 0.0,
+            dequant_mults_total=int(np.sum(totals)) if totals else 0,
+        ))
+    return points
+
+
+def run_overhead_sweep(config: ExperimentConfig, epochs: Optional[int] = None,
+                       seed: int = 0) -> List[OverheadPoint]:
+    """Fig. 8 driver: overhead *and* trained accuracy for all 9 combinations."""
+    train, test = build_loaders(config)
+    points = []
+    for scheme in all_granularity_combinations(config.weight_bits, config.act_bits,
+                                               config.psum_bits):
+        result = run_scheme(config, scheme, train, test, training="qat",
+                            epochs=epochs, seed=seed)
+        model = build_experiment_model(config, scheme=scheme, seed=seed)
+        overheads = model_overhead(model, scheme)
+        totals = [o.multiplications for o in overheads.values()]
+        points.append(OverheadPoint(
+            weight_granularity=scheme.weight_granularity.value,
+            psum_granularity=scheme.psum_granularity.value,
+            dequant_mults_per_layer_mean=float(np.mean(totals)),
+            dequant_mults_total=int(np.sum(totals)),
+            top1=result.top1,
+        ))
+    return points

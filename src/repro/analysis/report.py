@@ -1,0 +1,71 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmark scripts print the same rows / series the paper's tables and
+figures report; these helpers render lists of dictionaries as aligned ASCII
+tables so the output is readable in CI logs and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "markdown_table"]
+
+
+def _stringify(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows (list of dicts) as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(empty)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    table = [[_stringify(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+
+    def fmt_row(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(columns))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt_row(r) for r in table)
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    print(format_table(rows, columns, title))
+
+
+def markdown_table(rows: Sequence[Mapping[str, object]],
+                   columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    rows = list(rows)
+    if not rows:
+        return "(empty)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    header = "| " + " | ".join(columns) + " |"
+    divider = "|" + "|".join("---" for _ in columns) + "|"
+    body = ["| " + " | ".join(_stringify(row.get(col)) for col in columns) + " |"
+            for row in rows]
+    return "\n".join([header, divider] + body)
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render an (x, y) series like a figure's data points."""
+    pairs = [f"  {x_label}={_stringify(x)}  {y_label}={_stringify(y)}"
+             for x, y in zip(xs, ys)]
+    return "\n".join([f"series: {name}"] + pairs)

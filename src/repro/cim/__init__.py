@@ -1,0 +1,29 @@
+"""``repro.cim`` — behavioural compute-in-memory hardware substrate.
+
+Contains everything that describes or models the hardware the paper targets:
+crossbar geometry and tiling, ADC / DAC behavioural models, memory-cell
+variation, and the cost models (dequantization overhead, ADC energy/area)
+used by the evaluation figures.
+"""
+
+from .adc import ADCModel, ADCStats, ideal_adc_codes
+from .array import CrossbarArray
+from .config import CIMConfig, QuantScheme
+from .cost import (ADCCostModel, CostReport, DequantOverhead, dequant_mults_per_layer,
+                   layer_adc_conversions, model_dequant_overhead)
+from .dac import DACModel, bit_serial_slices
+from .tiling import (ArrayTile, WeightMapping, build_linear_mapping, build_mapping,
+                     rows_utilization, tile_weight_matrix)
+from .variation import VariationModel, apply_lognormal_variation
+
+__all__ = [
+    "CIMConfig", "QuantScheme",
+    "ADCModel", "ADCStats", "ideal_adc_codes",
+    "DACModel", "bit_serial_slices",
+    "CrossbarArray",
+    "ArrayTile", "WeightMapping", "build_mapping", "build_linear_mapping",
+    "rows_utilization", "tile_weight_matrix",
+    "VariationModel", "apply_lognormal_variation",
+    "ADCCostModel", "CostReport", "DequantOverhead", "dequant_mults_per_layer",
+    "layer_adc_conversions", "model_dequant_overhead",
+]

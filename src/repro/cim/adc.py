@@ -1,0 +1,93 @@
+"""Behavioural ADC model.
+
+In a CIM macro the analog column currents (partial sums) are digitized by
+ADCs.  The paper models this digitization as a uniform quantization of the
+integer-valued partial sum with a per-column reference voltage derived from
+the partial sum's scale factor (Sec. II-A).  This module provides the
+behavioural equivalent: given a partial-sum array and scale factors, produce
+the digital codes that a ``adc_bits`` ADC would output, along with the
+clipping/rounding error statistics needed by the analysis tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..quant.fake_quant import quant_range
+
+__all__ = ["ADCModel", "ADCStats", "ideal_adc_codes"]
+
+
+@dataclass
+class ADCStats:
+    """Aggregate statistics of one ADC conversion pass."""
+
+    clipped_fraction: float
+    mse: float
+    mean_code: float
+    code_range: Tuple[float, float]
+
+
+class ADCModel:
+    """Uniform ADC with configurable precision and reference scaling.
+
+    Parameters
+    ----------
+    bits:
+        ADC resolution (= partial-sum precision).
+    signed:
+        Whether the column current can be negative (true in our signed
+        bit-split encoding, where the most significant slice carries sign).
+    """
+
+    def __init__(self, bits: int, signed: bool = True):
+        self.bits = int(bits)
+        self.signed = bool(signed)
+        self.qrange = quant_range(bits, signed)
+
+    def convert(self, psum: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        """Digitize ``psum`` with per-column reference ``scale``.
+
+        The reference voltage of each ADC is set so that one LSB corresponds
+        to ``scale``; the output code is ``clamp(round(psum / scale))``.
+        """
+        codes = np.round(psum / scale)
+        return np.clip(codes, self.qrange.qmin, self.qrange.qmax)
+
+    def reconstruct(self, codes: np.ndarray, scale: np.ndarray) -> np.ndarray:
+        """Map digital codes back to the partial-sum domain."""
+        return codes * scale
+
+    def convert_with_stats(self, psum: np.ndarray,
+                           scale: np.ndarray) -> Tuple[np.ndarray, ADCStats]:
+        """Digitize and also report clipping / error statistics."""
+        raw = psum / scale
+        codes = np.round(raw)
+        clipped = np.logical_or(codes < self.qrange.qmin, codes > self.qrange.qmax)
+        codes = np.clip(codes, self.qrange.qmin, self.qrange.qmax)
+        recon = codes * scale
+        stats = ADCStats(
+            clipped_fraction=float(np.mean(clipped)),
+            mse=float(np.mean((psum - recon) ** 2)),
+            mean_code=float(np.mean(codes)),
+            code_range=(float(codes.min(initial=0)), float(codes.max(initial=0))),
+        )
+        return codes, stats
+
+    def saturation_value(self, scale: np.ndarray) -> np.ndarray:
+        """Largest partial-sum magnitude representable without clipping."""
+        return scale * max(abs(self.qrange.qmin), abs(self.qrange.qmax))
+
+
+def ideal_adc_codes(psum: np.ndarray) -> np.ndarray:
+    """Codes of an ideal (infinite-precision) ADC: the integer partial sums.
+
+    With integer activations and integer bit-split weights the analog column
+    current is an integer multiple of the unit conductance, so an ideal ADC
+    simply reports that integer.  Used as the no-partial-sum-quantization
+    reference in the experiments.
+    """
+    return np.round(psum)

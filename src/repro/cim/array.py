@@ -1,0 +1,121 @@
+"""Single-crossbar behavioural model.
+
+:class:`CrossbarArray` models one ``rows x cols`` memory array executing an
+analog matrix-vector multiplication: programmed cell values multiply the
+word-line inputs and currents sum along each bit line.  The class is the
+ground-truth reference for the vectorised multi-array implementation inside
+:class:`repro.core.cim_conv.CIMConv2d` and the object the inspection example
+uses to show exactly what ends up in each array.
+
+It intentionally operates on plain NumPy arrays (no autograd): it represents
+deployed inference hardware, not the QAT training path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .adc import ADCModel
+from .config import CIMConfig
+from .variation import VariationModel
+
+__all__ = ["CrossbarArray"]
+
+
+@dataclass
+class CrossbarArray:
+    """One physical crossbar array.
+
+    Attributes
+    ----------
+    rows, cols:
+        Physical dimensions (word lines x bit lines).
+    cell_bits:
+        Bits per cell; programmed values outside the representable range
+        raise an error, catching mapping bugs early.
+    signed_cells:
+        Whether a column may hold the signed top bit-split slice (see
+        :mod:`repro.quant.bitsplit`).
+    """
+
+    rows: int
+    cols: int
+    cell_bits: int = 1
+    signed_cells: bool = True
+    _cells: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @classmethod
+    def from_config(cls, config: CIMConfig) -> "CrossbarArray":
+        return cls(rows=config.array_rows, cols=config.array_cols,
+                   cell_bits=config.cell_bits)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cell_min(self) -> int:
+        return -(2 ** (self.cell_bits - 1)) if self.signed_cells else 0
+
+    @property
+    def cell_max(self) -> int:
+        return 2 ** self.cell_bits - 1
+
+    @property
+    def cells(self) -> np.ndarray:
+        if self._cells is None:
+            raise RuntimeError("array has not been programmed yet")
+        return self._cells
+
+    def program(self, values: np.ndarray) -> None:
+        """Program cell values; zero-pads to the full array dimensions."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("cell values must be 2-D (rows x cols)")
+        if values.shape[0] > self.rows or values.shape[1] > self.cols:
+            raise ValueError(
+                f"values {values.shape} exceed array dimensions {(self.rows, self.cols)}")
+        if values.min(initial=0) < self.cell_min or values.max(initial=0) > self.cell_max:
+            raise ValueError(
+                f"programmed values outside cell range [{self.cell_min}, {self.cell_max}]")
+        cells = np.zeros((self.rows, self.cols), dtype=np.float64)
+        cells[:values.shape[0], :values.shape[1]] = values
+        self._cells = cells
+
+    def apply_variation(self, variation: VariationModel) -> None:
+        """Perturb the programmed cells with device variation (Eq. 5)."""
+        self._cells = variation.perturb(self.cells)
+
+    # ------------------------------------------------------------------ #
+    def mac(self, wordline_inputs: np.ndarray) -> np.ndarray:
+        """Analog MAC: ``inputs @ cells``.
+
+        ``wordline_inputs`` may be 1-D (one input vector) or 2-D
+        ``(batch, rows_used)``; inputs shorter than ``rows`` address only the
+        first word lines.  Returns the per-column analog partial sums.
+        """
+        inputs = np.asarray(wordline_inputs, dtype=np.float64)
+        single = inputs.ndim == 1
+        if single:
+            inputs = inputs[None, :]
+        if inputs.shape[1] > self.rows:
+            raise ValueError(f"input length {inputs.shape[1]} exceeds {self.rows} word lines")
+        padded = np.zeros((inputs.shape[0], self.rows), dtype=np.float64)
+        padded[:, :inputs.shape[1]] = inputs
+        psums = padded @ self.cells
+        return psums[0] if single else psums
+
+    def mac_digitized(self, wordline_inputs: np.ndarray, adc: ADCModel,
+                      scale: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """MAC followed by ADC digitization; returns ``(codes, reconstruction)``."""
+        psums = self.mac(wordline_inputs)
+        codes = adc.convert(psums, scale)
+        return codes, adc.reconstruct(codes, scale)
+
+    def column(self, index: int) -> np.ndarray:
+        """Programmed values of one bit-line column."""
+        return self.cells[:, index]
+
+    def occupancy(self) -> float:
+        """Fraction of cells holding a non-zero value."""
+        return float(np.count_nonzero(self.cells)) / self.cells.size

@@ -1,0 +1,110 @@
+"""Configuration dataclasses describing a CIM macro and a quantization scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..quant.bitsplit import BitSplitConfig, num_splits
+from ..quant.granularity import Granularity
+
+__all__ = ["CIMConfig", "QuantScheme"]
+
+
+@dataclass(frozen=True)
+class CIMConfig:
+    """Static description of the CIM macro used to execute a layer.
+
+    Attributes
+    ----------
+    array_rows, array_cols:
+        Crossbar dimensions (word lines x bit lines).  The paper uses
+        128x128 for the CIFAR experiments and 256x256 for ImageNet
+        (Table II).
+    cell_bits:
+        Bits stored per memory cell; weights wider than this are split
+        across ``ceil(weight_bits / cell_bits)`` cells (columns).
+    adc_bits:
+        Partial-sum (ADC output) precision.
+    dac_bits:
+        Input (DAC) precision; equals the activation precision in the
+        paper's settings.
+    tiling:
+        ``"kernel_preserving"`` (the paper's proposed tiling, keeping whole
+        stretched kernels inside one array) or ``"im2col"`` (conventional
+        row-major tiling of the unrolled weight matrix).
+    """
+
+    array_rows: int = 128
+    array_cols: int = 128
+    cell_bits: int = 1
+    adc_bits: int = 4
+    dac_bits: int = 4
+    tiling: str = "kernel_preserving"
+
+    def __post_init__(self):
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.cell_bits < 1:
+            raise ValueError("cell_bits must be >= 1")
+        if self.adc_bits < 1:
+            raise ValueError("adc_bits must be >= 1")
+        if self.tiling not in ("kernel_preserving", "im2col"):
+            raise ValueError("tiling must be 'kernel_preserving' or 'im2col'")
+
+    def n_splits(self, weight_bits: int) -> int:
+        return num_splits(weight_bits, min(self.cell_bits, weight_bits))
+
+    def bitsplit(self, weight_bits: int) -> BitSplitConfig:
+        return BitSplitConfig(weight_bits, min(self.cell_bits, weight_bits))
+
+    def with_(self, **kwargs) -> "CIMConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """Full quantization scheme of a layer (Table I / Table II of the paper).
+
+    ``weight_granularity`` / ``psum_granularity`` select how many scale
+    factors are used; ``learnable_weight_scale`` / ``learnable_psum_scale``
+    distinguish QAT (LSQ) from PTQ baselines; ``two_stage`` marks schemes
+    that quantize partial sums only in a second training stage.
+    """
+
+    name: str = "ours"
+    weight_bits: int = 4
+    act_bits: int = 4
+    psum_bits: int = 4
+    weight_granularity: Granularity = Granularity.COLUMN
+    psum_granularity: Granularity = Granularity.COLUMN
+    quantize_psum: bool = True
+    learnable_weight_scale: bool = True
+    learnable_psum_scale: bool = True
+    train_from_scratch: bool = True
+    two_stage: bool = False
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "weight_granularity",
+                           Granularity.parse(self.weight_granularity))
+        object.__setattr__(self, "psum_granularity",
+                           Granularity.parse(self.psum_granularity))
+        for name in ("weight_bits", "act_bits", "psum_bits"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def granularity_aligned(self) -> bool:
+        """True when weight and partial-sum granularities match (the paper's key idea)."""
+        return self.weight_granularity == self.psum_granularity
+
+    def with_(self, **kwargs) -> "QuantScheme":
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        """Short 'W-granularity / P-granularity' label used in plots (Fig. 9)."""
+        w = self.weight_granularity.value.capitalize()
+        p = self.psum_granularity.value.capitalize() if self.quantize_psum else "None"
+        return f"{w}/{p}"

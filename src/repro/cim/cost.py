@@ -1,0 +1,149 @@
+"""Hardware cost models: dequantization overhead, ADC energy and area.
+
+Fig. 8 of the paper ranks quantization schemes by the number of
+*dequantize-operation multiplications per layer*:
+
+* layer-wise partial sums  -> 1 multiplication,
+* array-wise partial sums  -> ``n_array * n_oc`` multiplications,
+* column-wise partial sums -> ``n_split * n_array * n_oc`` multiplications,
+
+and — this is the paper's key observation — the *weight* granularity does not
+add any overhead, because the weight scale of a column can be folded into the
+partial-sum scale of the same column before deployment (Fig. 4(d)).
+
+The ADC energy / area figures implement the standard first-order model used
+in CIM design-space exploration (energy and area grow exponentially with
+resolution); they are provided so that users can extend the evaluation to
+energy-delay product studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..quant.granularity import Granularity
+from .tiling import WeightMapping
+
+__all__ = ["dequant_mults_per_layer", "DequantOverhead", "ADCCostModel",
+           "layer_adc_conversions", "CostReport"]
+
+
+def dequant_mults_per_layer(psum_granularity: Granularity, n_arrays: int,
+                            channels_per_array: int, n_splits: int) -> int:
+    """Number of dequantization multiplications for one layer (Fig. 8 x-axis)."""
+    granularity = Granularity.parse(psum_granularity)
+    if granularity is Granularity.LAYER:
+        return 1
+    if granularity is Granularity.ARRAY:
+        return n_arrays * channels_per_array
+    return n_splits * n_arrays * channels_per_array
+
+
+@dataclass(frozen=True)
+class DequantOverhead:
+    """Dequantization overhead of one layer under a given scheme."""
+
+    layer_name: str
+    psum_granularity: Granularity
+    weight_granularity: Granularity
+    n_arrays: int
+    channels_per_array: int
+    n_splits: int
+
+    @property
+    def multiplications(self) -> int:
+        return dequant_mults_per_layer(self.psum_granularity, self.n_arrays,
+                                       self.channels_per_array, self.n_splits)
+
+    @property
+    def stored_scale_factors(self) -> int:
+        """Number of distinct (folded) scale factors that must be stored.
+
+        Weight and partial-sum scales of the same column are folded into one
+        stored multiplier, so aligning the granularities does not increase
+        storage — the claim behind Fig. 4(d).
+        """
+        return self.multiplications
+
+
+def model_dequant_overhead(mappings: Dict[str, WeightMapping],
+                           weight_granularity: Granularity,
+                           psum_granularity: Granularity) -> Dict[str, DequantOverhead]:
+    """Per-layer dequantization overhead for a whole model's mappings."""
+    report = {}
+    for name, mapping in mappings.items():
+        report[name] = DequantOverhead(
+            layer_name=name,
+            psum_granularity=Granularity.parse(psum_granularity),
+            weight_granularity=Granularity.parse(weight_granularity),
+            n_arrays=mapping.n_arrays,
+            channels_per_array=mapping.channels_per_array,
+            n_splits=mapping.n_splits,
+        )
+    return report
+
+
+__all__.append("model_dequant_overhead")
+
+
+@dataclass(frozen=True)
+class ADCCostModel:
+    """First-order ADC energy / area model.
+
+    ``energy_per_conversion`` follows the usual SAR-ADC scaling
+    ``E = e0 * 2**bits`` (pJ) and ``area`` follows ``A = a0 * 2**bits`` (um^2),
+    normalised so the default constants reproduce the relative numbers quoted
+    for ISAAC-class designs.  Only *relative* comparisons between schemes are
+    meaningful.
+    """
+
+    energy_unit_pj: float = 0.0015
+    area_unit_um2: float = 30.0
+
+    def energy_per_conversion(self, bits: int) -> float:
+        return self.energy_unit_pj * (2 ** bits)
+
+    def area_per_adc(self, bits: int) -> float:
+        return self.area_unit_um2 * (2 ** bits)
+
+    def layer_energy(self, conversions: int, bits: int) -> float:
+        return conversions * self.energy_per_conversion(bits)
+
+
+def layer_adc_conversions(mapping: WeightMapping, n_outputs_spatial: int,
+                          batch: int = 1) -> int:
+    """ADC conversions needed for one layer invocation.
+
+    Every (bit-split, array, output-channel, output-pixel) partial sum goes
+    through one ADC conversion.
+    """
+    return (mapping.n_splits * mapping.n_arrays_row * mapping.out_channels
+            * n_outputs_spatial * batch)
+
+
+@dataclass
+class CostReport:
+    """Aggregated cost summary for a model under one quantization scheme."""
+
+    total_dequant_mults: int = 0
+    total_adc_conversions: int = 0
+    total_adc_energy_pj: float = 0.0
+    total_arrays: int = 0
+    per_layer: Dict[str, DequantOverhead] = None
+
+    @classmethod
+    def aggregate(cls, overheads: Dict[str, DequantOverhead],
+                  conversions: Dict[str, int] | None = None,
+                  adc_bits: int = 4,
+                  adc_model: ADCCostModel | None = None) -> "CostReport":
+        adc_model = adc_model or ADCCostModel()
+        conversions = conversions or {}
+        total_conv = sum(conversions.values())
+        return cls(
+            total_dequant_mults=sum(o.multiplications for o in overheads.values()),
+            total_adc_conversions=total_conv,
+            total_adc_energy_pj=adc_model.layer_energy(total_conv, adc_bits),
+            total_arrays=sum(o.n_arrays for o in overheads.values()),
+            per_layer=dict(overheads),
+        )

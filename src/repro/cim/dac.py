@@ -1,0 +1,68 @@
+"""Behavioural DAC / word-line driver model.
+
+Activations enter the crossbar through DACs on the word lines.  The paper
+quantizes activations to ``act_bits`` (Table II) and drives them in a single
+analog step; an optional bit-serial mode (1 bit per cycle, as used by
+ISAAC-style architectures) is provided for completeness and for the energy
+model, which needs the number of word-line cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..quant.fake_quant import quant_range
+
+__all__ = ["DACModel", "bit_serial_slices"]
+
+
+@dataclass
+class DACModel:
+    """Word-line DAC with ``bits`` resolution.
+
+    ``bit_serial=True`` models architectures that stream the activation one
+    bit per cycle (each cycle drives a binary word-line voltage); otherwise
+    the full ``bits``-wide code is converted in one cycle.
+    """
+
+    bits: int = 4
+    bit_serial: bool = False
+
+    def __post_init__(self):
+        if self.bits < 1:
+            raise ValueError("DAC bits must be >= 1")
+
+    @property
+    def cycles_per_input(self) -> int:
+        """Number of word-line cycles needed to apply one input vector."""
+        return self.bits if self.bit_serial else 1
+
+    def encode(self, activations_int: np.ndarray) -> np.ndarray:
+        """Clip integer activation codes to the DAC range (unsigned)."""
+        rng = quant_range(self.bits, signed=False)
+        return np.clip(np.round(activations_int), rng.qmin, rng.qmax)
+
+    def drive(self, activations_int: np.ndarray) -> List[Tuple[np.ndarray, float]]:
+        """Return the word-line drive pattern.
+
+        Returns a list of ``(driven_values, significance)`` pairs: a single
+        pair for parallel DACs, or ``bits`` binary slices with significance
+        ``2**k`` for bit-serial operation.  The sum of
+        ``driven * significance`` always reconstructs the encoded input.
+        """
+        codes = self.encode(activations_int)
+        if not self.bit_serial:
+            return [(codes, 1.0)]
+        return [(slice_k, float(2 ** k))
+                for k, slice_k in enumerate(bit_serial_slices(codes, self.bits))]
+
+
+def bit_serial_slices(codes: np.ndarray, bits: int) -> List[np.ndarray]:
+    """Decompose unsigned integer codes into ``bits`` binary slices (LSB first)."""
+    codes = np.asarray(np.round(codes), dtype=np.int64)
+    if codes.min(initial=0) < 0:
+        raise ValueError("bit-serial slicing expects unsigned activation codes")
+    return [((codes >> k) & 1).astype(np.float64) for k in range(bits)]

@@ -1,0 +1,231 @@
+"""Mapping and tiling of layer weights onto CIM crossbar arrays.
+
+A convolution layer with weight ``(OC, IC, K, K)`` is first unrolled
+(im2col): every output channel becomes one *stretched kernel* — a column
+vector of length ``IC*K*K`` — and the unrolled weight matrix has
+``IC*K*K`` rows and ``OC`` columns.  Because the crossbar has only
+``array_rows`` word lines, the rows must be tiled across several arrays.
+
+Two strategies are implemented:
+
+``im2col`` tiling (conventional)
+    Cut the ``IC*K*K`` rows into consecutive chunks of exactly
+    ``array_rows`` rows.  Chunks may slice through the middle of a kernel,
+    which is why frameworks built on this tiling must fall back to explicit
+    ``im2col`` + matrix multiplication for every array (the bottleneck the
+    paper points out).
+
+``kernel_preserving`` tiling (the paper's proposal)
+    Choose the tiling stride as a multiple of ``K*K`` so that each array
+    holds a whole number of stretched-kernel segments, i.e.
+    ``channels_per_array = floor(array_rows / (K*K))`` input channels per
+    array.  Each array's content can then be reshaped back into a 4-D
+    convolution weight ``(OC, channels_per_array, K, K)`` and all arrays can
+    be evaluated at once with a *group convolution* whose group count equals
+    the number of arrays (Fig. 5).
+
+Both strategies are expressed as a row partition of the unrolled weight
+matrix, so the downstream CIM layer code is tiling-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .config import CIMConfig
+
+__all__ = ["ArrayTile", "WeightMapping", "build_mapping", "build_linear_mapping",
+           "rows_utilization"]
+
+
+@dataclass(frozen=True)
+class ArrayTile:
+    """One crossbar array worth of rows of the unrolled weight matrix."""
+
+    index: int
+    row_start: int
+    row_stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_stop - self.row_start
+
+
+@dataclass(frozen=True)
+class WeightMapping:
+    """Complete mapping of one layer onto crossbar arrays.
+
+    Attributes
+    ----------
+    tiles:
+        Row partition of the unrolled weight matrix (one entry per
+        row-direction array).
+    rows_per_array:
+        Uniform padded row count used by the vectorised simulation; every
+        tile has ``rows <= rows_per_array`` and shorter tiles are zero-padded.
+    col_tiles:
+        Number of array tiles in the column (output channel x bit-split)
+        direction; it does not change the computed values, only the
+        number of physical arrays (and therefore the cost model).
+    """
+
+    layer_type: str
+    in_features: int          # IC*K*K for conv, in_features for linear
+    out_channels: int
+    kernel_size: Tuple[int, int]
+    tiles: Tuple[ArrayTile, ...]
+    rows_per_array: int
+    col_tiles: int
+    n_splits: int
+    config: CIMConfig
+    strategy: str
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_arrays_row(self) -> int:
+        """Number of arrays along the word-line (row) direction."""
+        return len(self.tiles)
+
+    @property
+    def n_arrays(self) -> int:
+        """Total number of physical arrays used by the layer."""
+        return self.n_arrays_row * self.col_tiles
+
+    @property
+    def channels_per_array(self) -> int:
+        """Output channels mapped into one array (``noc`` in the paper)."""
+        return int(math.ceil(self.out_channels / self.col_tiles))
+
+    @property
+    def used_rows(self) -> int:
+        return sum(t.rows for t in self.tiles)
+
+    def row_slices(self) -> List[slice]:
+        return [slice(t.row_start, t.row_stop) for t in self.tiles]
+
+    def describe(self) -> str:
+        return (f"{self.layer_type}: {self.in_features}x{self.out_channels} -> "
+                f"{self.n_arrays_row} row-tiles x {self.col_tiles} col-tiles "
+                f"({self.rows_per_array} rows/array, {self.n_splits} bit-splits, "
+                f"strategy={self.strategy})")
+
+
+def _conv_row_partition(in_channels: int, kernel_size: Tuple[int, int],
+                        config: CIMConfig, strategy: str) -> Tuple[List[ArrayTile], int]:
+    """Partition the ``IC*K*K`` unrolled rows according to the tiling strategy."""
+    kh, kw = kernel_size
+    receptive = kh * kw
+    total_rows = in_channels * receptive
+
+    if strategy == "im2col" or receptive > config.array_rows:
+        # Conventional tiling: consecutive chunks of array_rows rows.  Also the
+        # fallback when a single stretched kernel does not fit in one array.
+        n_tiles = int(math.ceil(total_rows / config.array_rows))
+        tiles = []
+        for i in range(n_tiles):
+            start = i * config.array_rows
+            stop = min(start + config.array_rows, total_rows)
+            tiles.append(ArrayTile(i, start, stop))
+        return tiles, min(config.array_rows, total_rows)
+
+    # kernel-preserving tiling: whole input channels per array
+    channels_per_array = max(1, config.array_rows // receptive)
+    channels_per_array = min(channels_per_array, in_channels)
+    rows_per_array = channels_per_array * receptive
+    n_tiles = int(math.ceil(in_channels / channels_per_array))
+    tiles = []
+    for i in range(n_tiles):
+        c_start = i * channels_per_array
+        c_stop = min(c_start + channels_per_array, in_channels)
+        tiles.append(ArrayTile(i, c_start * receptive, c_stop * receptive))
+    return tiles, rows_per_array
+
+
+def build_mapping(in_channels: int, out_channels: int, kernel_size: Tuple[int, int],
+                  weight_bits: int, config: CIMConfig,
+                  strategy: str | None = None) -> WeightMapping:
+    """Build the crossbar mapping of a convolution layer."""
+    strategy = strategy or config.tiling
+    if strategy not in ("kernel_preserving", "im2col"):
+        raise ValueError(f"unknown tiling strategy {strategy!r}")
+    tiles, rows_per_array = _conv_row_partition(in_channels, kernel_size, config, strategy)
+    n_splits = config.n_splits(weight_bits)
+    cols_needed = out_channels * n_splits
+    col_tiles = int(math.ceil(cols_needed / config.array_cols))
+    return WeightMapping(
+        layer_type="conv2d",
+        in_features=in_channels * kernel_size[0] * kernel_size[1],
+        out_channels=out_channels,
+        kernel_size=tuple(kernel_size),
+        tiles=tuple(tiles),
+        rows_per_array=rows_per_array,
+        col_tiles=col_tiles,
+        n_splits=n_splits,
+        config=config,
+        strategy=strategy,
+    )
+
+
+def build_linear_mapping(in_features: int, out_features: int, weight_bits: int,
+                         config: CIMConfig) -> WeightMapping:
+    """Build the crossbar mapping of a fully-connected layer.
+
+    A linear layer is a 1x1 'kernel', so both tiling strategies coincide:
+    rows are cut into chunks of ``array_rows``.
+    """
+    n_tiles = int(math.ceil(in_features / config.array_rows))
+    tiles = [ArrayTile(i, i * config.array_rows,
+                       min((i + 1) * config.array_rows, in_features))
+             for i in range(n_tiles)]
+    n_splits = config.n_splits(weight_bits)
+    cols_needed = out_features * n_splits
+    col_tiles = int(math.ceil(cols_needed / config.array_cols))
+    return WeightMapping(
+        layer_type="linear",
+        in_features=in_features,
+        out_channels=out_features,
+        kernel_size=(1, 1),
+        tiles=tuple(tiles),
+        rows_per_array=min(config.array_rows, in_features),
+        col_tiles=col_tiles,
+        n_splits=n_splits,
+        config=config,
+        strategy="im2col",
+    )
+
+
+def rows_utilization(mapping: WeightMapping) -> float:
+    """Fraction of allocated word lines actually holding weights.
+
+    Kernel-preserving tiling may leave ``array_rows mod (K*K)`` rows unused
+    per array; this metric quantifies that trade-off.
+    """
+    allocated = mapping.n_arrays_row * mapping.rows_per_array
+    if allocated == 0:
+        return 0.0
+    return mapping.used_rows / allocated
+
+
+def tile_weight_matrix(w_matrix: np.ndarray, mapping: WeightMapping) -> np.ndarray:
+    """Tile an unrolled weight matrix ``(in_features, OC)`` into arrays.
+
+    Returns an array of shape ``(n_arrays_row, rows_per_array, OC)`` with
+    zero padding for tiles shorter than ``rows_per_array``.  This is the
+    NumPy (non-differentiable) counterpart of the tiling performed inside
+    :class:`repro.core.cim_conv.CIMConv2d`; it is used by inspection tools
+    and tests.
+    """
+    if w_matrix.shape[0] != mapping.in_features:
+        raise ValueError(
+            f"weight matrix has {w_matrix.shape[0]} rows, mapping expects {mapping.in_features}")
+    out = np.zeros((mapping.n_arrays_row, mapping.rows_per_array, w_matrix.shape[1]))
+    for tile in mapping.tiles:
+        out[tile.index, :tile.rows, :] = w_matrix[tile.row_start:tile.row_stop, :]
+    return out
+
+
+__all__.append("tile_weight_matrix")

@@ -1,0 +1,82 @@
+"""Memory-cell variation model (Sec. IV-E, Eq. 5).
+
+Non-volatile memory cells deviate from their programmed conductance.
+Following Charan et al. [11] and Eq. (5) of the paper, the deviation is
+modelled multiplicatively with log-normal noise:
+
+    w_var = w * exp(theta),     theta ~ N(0, sigma^2)
+
+The noise is applied to the *programmed cell values*, i.e. the bit-split
+integer weights stored in the crossbar, which is what a device-level
+variation physically perturbs.  A convenience mode applying the noise to the
+full quantized weight (the coarser abstraction some prior works use) is also
+provided for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["VariationModel", "apply_lognormal_variation"]
+
+
+def apply_lognormal_variation(values: np.ndarray, sigma: float,
+                              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Return ``values * exp(theta)`` with ``theta ~ N(0, sigma^2)`` elementwise."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.array(values, copy=True)
+    rng = rng or np.random.default_rng()
+    theta = rng.normal(0.0, sigma, size=np.shape(values))
+    return values * np.exp(theta)
+
+
+@dataclass
+class VariationModel:
+    """Configured device-variation injector.
+
+    Attributes
+    ----------
+    sigma:
+        Standard deviation of the log-normal exponent (x-axis of Fig. 10).
+    target:
+        ``"cells"`` perturbs each programmed bit-split cell independently;
+        ``"weights"`` perturbs the quantized weight once (all its cells move
+        together).
+    seed:
+        Seed for reproducible Monte-Carlo evaluation.
+    """
+
+    sigma: float = 0.0
+    target: str = "cells"
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.target not in ("cells", "weights"):
+            raise ValueError("target must be 'cells' or 'weights'")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def enabled(self) -> bool:
+        return self.sigma > 0.0
+
+    def reseed(self, seed: int) -> None:
+        """Reset the RNG, e.g. between Monte-Carlo trials."""
+        self._rng = np.random.default_rng(seed)
+
+    def perturb(self, values: np.ndarray) -> np.ndarray:
+        """Apply log-normal variation to an array of programmed values."""
+        if not self.enabled:
+            return np.array(values, copy=True)
+        return apply_lognormal_variation(values, self.sigma, self._rng)
+
+    def sweep(self, sigmas: Iterable[float]) -> Iterable["VariationModel"]:
+        """Yield copies of this model across a sigma sweep (Fig. 10 x-axis)."""
+        for sigma in sigmas:
+            yield VariationModel(sigma=float(sigma), target=self.target, seed=self.seed)

@@ -1,0 +1,137 @@
+"""Model conversion and CIM-layer discovery utilities.
+
+``convert_to_cim`` swaps every full-precision :class:`~repro.nn.layers.Conv2d`
+/ :class:`~repro.nn.layers.Linear` inside a model for its CIM-quantized
+counterpart, copying the pretrained weights — this is the entry point of the
+PTQ baselines (Kim [5], Bai [6, 7]), which start from a pretrained
+full-precision network.
+
+``cim_layers`` / ``set_psum_quant_enabled`` / ``apply_variation`` /
+``attach_recorders`` operate uniformly on every CIM layer of a model and are
+used by the trainers and the experiment drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..cim.cost import DequantOverhead, model_dequant_overhead
+from ..cim.tiling import WeightMapping
+from ..cim.variation import VariationModel
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from .cim_conv import CIMConv2d
+from .cim_linear import CIMLinear
+from .psum import PartialSumRecorder
+
+__all__ = ["convert_to_cim", "cim_layers", "set_psum_quant_enabled", "apply_variation",
+           "attach_recorders", "model_mappings", "model_overhead", "scale_parameters",
+           "weight_parameters"]
+
+CIMLayer = Union[CIMConv2d, CIMLinear]
+
+
+def convert_to_cim(model: Module, scheme: QuantScheme, cim_config: CIMConfig,
+                   skip_first_conv_act_quant: bool = True) -> Module:
+    """Replace FP conv / linear layers with CIM layers in place, copying weights.
+
+    Parameters
+    ----------
+    model:
+        A model built from :class:`repro.nn` layers.
+    scheme, cim_config:
+        Quantization scheme and macro description applied to every layer.
+    skip_first_conv_act_quant:
+        Do not quantize the activations of the first convolution (its input
+        is the image itself); standard practice in low-bit QAT.
+    """
+    first_conv_seen = False
+    for parent in model.modules():
+        for name, child in list(parent._modules.items()):
+            if isinstance(child, Conv2d) and not isinstance(child, CIMConv2d):
+                quantize_input = not (skip_first_conv_act_quant and not first_conv_seen)
+                first_conv_seen = True
+                new = CIMConv2d(child.in_channels, child.out_channels, child.kernel_size,
+                                stride=child.stride, padding=child.padding,
+                                bias=child.bias is not None,
+                                scheme=scheme, cim_config=cim_config,
+                                quantize_input=quantize_input)
+                new.weight.data = child.weight.data.copy()
+                if child.bias is not None:
+                    new.bias.data = child.bias.data.copy()
+                parent.add_module(name, new)
+            elif isinstance(child, Linear) and not isinstance(child, CIMLinear):
+                new = CIMLinear(child.in_features, child.out_features,
+                                bias=child.bias is not None,
+                                scheme=scheme, cim_config=cim_config)
+                new.weight.data = child.weight.data.copy()
+                if child.bias is not None:
+                    new.bias.data = child.bias.data.copy()
+                parent.add_module(name, new)
+    return model
+
+
+def cim_layers(model: Module) -> Iterator[Tuple[str, CIMLayer]]:
+    """Yield ``(name, layer)`` for every CIM layer in the model."""
+    for name, module in model.named_modules():
+        if isinstance(module, (CIMConv2d, CIMLinear)):
+            yield name, module
+
+
+def set_psum_quant_enabled(model: Module, enabled: bool) -> int:
+    """Toggle partial-sum quantization on every CIM layer; returns the count."""
+    count = 0
+    for _, layer in cim_layers(model):
+        layer.set_psum_quant_enabled(enabled)
+        count += 1
+    return count
+
+
+def apply_variation(model: Module, variation: Optional[VariationModel]) -> int:
+    """Attach a device-variation model to every CIM layer (``None`` to clear)."""
+    count = 0
+    for _, layer in cim_layers(model):
+        layer.set_variation(variation)
+        count += 1
+    return count
+
+
+def attach_recorders(model: Module, recorder: Optional[PartialSumRecorder]) -> int:
+    """Attach a partial-sum recorder to every CIM layer."""
+    count = 0
+    for name, layer in cim_layers(model):
+        layer.attach_recorder(recorder, layer_name=name)
+        count += 1
+    return count
+
+
+def model_mappings(model: Module) -> Dict[str, WeightMapping]:
+    """Crossbar mapping of every CIM layer, keyed by layer name."""
+    return {name: layer.mapping for name, layer in cim_layers(model)}
+
+
+def model_overhead(model: Module, scheme: QuantScheme) -> Dict[str, DequantOverhead]:
+    """Per-layer dequantization overhead of ``model`` under ``scheme`` (Fig. 8)."""
+    return model_dequant_overhead(model_mappings(model),
+                                  scheme.weight_granularity, scheme.psum_granularity)
+
+
+def scale_parameters(model: Module) -> List:
+    """All learnable LSQ scale parameters (weight, activation and partial-sum)."""
+    params = []
+    for name, param in model.named_parameters():
+        if name.endswith("scale") and param.requires_grad:
+            params.append(param)
+    return params
+
+
+def weight_parameters(model: Module) -> List:
+    """All learnable parameters that are *not* LSQ scales."""
+    params = []
+    for name, param in model.named_parameters():
+        if not name.endswith("scale") and param.requires_grad:
+            params.append(param)
+    return params

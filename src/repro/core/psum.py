@@ -1,0 +1,95 @@
+"""Partial-sum observation utilities.
+
+The distribution analysis of Fig. 6 (integer-valued column-wise partial-sum
+distributions under layer-wise vs column-wise weight quantization) needs
+access to the raw partial sums produced inside a CIM layer before they are
+quantized.  :class:`PartialSumRecorder` is a lightweight sink that CIM layers
+write into when recording is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["PartialSumRecorder", "ColumnStatistics"]
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of the integer partial sums of one ADC column."""
+
+    column_index: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    dynamic_range: float
+
+    @classmethod
+    def from_values(cls, column_index: int, values: np.ndarray) -> "ColumnStatistics":
+        values = np.asarray(values, dtype=np.float64)
+        vmin = float(values.min()) if values.size else 0.0
+        vmax = float(values.max()) if values.size else 0.0
+        return cls(
+            column_index=column_index,
+            minimum=vmin,
+            maximum=vmax,
+            mean=float(values.mean()) if values.size else 0.0,
+            std=float(values.std()) if values.size else 0.0,
+            dynamic_range=vmax - vmin,
+        )
+
+
+@dataclass
+class PartialSumRecorder:
+    """Collects integer partial sums emitted by CIM layers.
+
+    ``samples_per_column`` bounds memory: only the first N partial sums per
+    column are kept verbatim (statistics still use everything recorded).
+    """
+
+    samples_per_column: int = 4096
+    _columns: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def record(self, layer_name: str, psums: np.ndarray) -> None:
+        """Record partial sums of shape ``(S, A, N, L, OC)`` (or ``(S, A, N, OC)``)."""
+        psums = np.asarray(psums)
+        if psums.ndim == 4:  # linear layer: add a singleton spatial axis
+            psums = psums[:, :, :, None, :]
+        n_splits, n_arrays, batch, length, oc = psums.shape
+        # flatten samples, keep per physical column = (split, array, oc)
+        per_column = psums.transpose(0, 1, 4, 2, 3).reshape(n_splits * n_arrays * oc, -1)
+        existing = self._columns.setdefault(layer_name, [])
+        if not existing:
+            for column in per_column:
+                existing.append(column[: self.samples_per_column].copy())
+        else:
+            for idx, column in enumerate(per_column):
+                kept = existing[idx]
+                room = self.samples_per_column - kept.size
+                if room > 0:
+                    existing[idx] = np.concatenate([kept, column[:room]])
+
+    # ------------------------------------------------------------------ #
+    def layers(self) -> List[str]:
+        return list(self._columns.keys())
+
+    def column_values(self, layer_name: str) -> List[np.ndarray]:
+        """Raw recorded partial sums per column for one layer."""
+        if layer_name not in self._columns:
+            raise KeyError(f"no partial sums recorded for layer {layer_name!r}")
+        return self._columns[layer_name]
+
+    def column_statistics(self, layer_name: str) -> List[ColumnStatistics]:
+        return [ColumnStatistics.from_values(i, vals)
+                for i, vals in enumerate(self.column_values(layer_name))]
+
+    def dynamic_range(self, layer_name: str) -> np.ndarray:
+        """Per-column dynamic range (max - min) of the integer partial sums."""
+        return np.array([s.dynamic_range for s in self.column_statistics(layer_name)])
+
+    def clear(self) -> None:
+        self._columns.clear()

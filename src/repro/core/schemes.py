@@ -1,0 +1,155 @@
+"""Quantization-scheme registry reproducing Table I of the paper.
+
+Each entry captures the quantization configuration of a related work (weight
+granularity, partial-sum granularity, PTQ vs QAT, learnable scales, one- vs
+two-stage training) plus the paper's proposed scheme ("ours").  The
+experiment drivers iterate over this registry to regenerate Fig. 7, Fig. 8,
+Fig. 10 and Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..cim.config import QuantScheme
+from ..quant.granularity import Granularity
+
+__all__ = ["SchemeInfo", "SCHEME_REGISTRY", "get_scheme", "related_work_schemes",
+           "all_granularity_combinations", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """A named quantization scheme with its citation metadata."""
+
+    key: str
+    citation: str
+    scheme: QuantScheme
+    training: str        # "ptq", "qat", "two-stage-qat"
+
+    def describe(self) -> str:
+        s = self.scheme
+        return (f"{self.citation}: W={s.weight_granularity.value}, "
+                f"P={s.psum_granularity.value}, training={self.training}, "
+                f"learnable scales: W={s.learnable_weight_scale} P={s.learnable_psum_scale}")
+
+
+def _scheme(name: str, wg: str, pg: str, *, learn_w: bool, learn_p: bool,
+            scratch: bool, two_stage: bool, weight_bits: int = 4, act_bits: int = 4,
+            psum_bits: int = 4, description: str = "") -> QuantScheme:
+    return QuantScheme(
+        name=name,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        psum_bits=psum_bits,
+        weight_granularity=Granularity.parse(wg),
+        psum_granularity=Granularity.parse(pg),
+        quantize_psum=True,
+        learnable_weight_scale=learn_w,
+        learnable_psum_scale=learn_p,
+        train_from_scratch=scratch,
+        two_stage=two_stage,
+        description=description,
+    )
+
+
+#: Table I of the paper, keyed by a short identifier.
+SCHEME_REGISTRY: Dict[str, SchemeInfo] = {
+    "kim": SchemeInfo(
+        key="kim",
+        citation="Kim [5] (JETC 2022)",
+        scheme=_scheme("kim", "layer", "layer", learn_w=False, learn_p=True,
+                       scratch=False, two_stage=False,
+                       description="Layer-wise weights and partial sums, PTQ, "
+                                   "learnable scale only for partial sums."),
+        training="ptq",
+    ),
+    "bai": SchemeInfo(
+        key="bai",
+        citation="Bai [6], [7] (TCAS-II 2023 / TCAD 2024)",
+        scheme=_scheme("bai", "array", "array", learn_w=False, learn_p=True,
+                       scratch=False, two_stage=False,
+                       description="Array-wise weights and partial sums, PTQ."),
+        training="ptq",
+    ),
+    "saxena_date22": SchemeInfo(
+        key="saxena_date22",
+        citation="Saxena [8] (DATE 2022)",
+        scheme=_scheme("saxena_date22", "layer", "array", learn_w=True, learn_p=True,
+                       scratch=True, two_stage=True,
+                       description="Layer-wise weights (QAT from scratch), array-wise "
+                                   "partial sums quantized in a second training stage."),
+        training="two-stage-qat",
+    ),
+    "saxena_islped23": SchemeInfo(
+        key="saxena_islped23",
+        citation="Saxena [9] (ISLPED 2023)",
+        scheme=_scheme("saxena_islped23", "layer", "column", learn_w=True, learn_p=True,
+                       scratch=True, two_stage=True,
+                       description="Layer-wise weights, column-wise partial sums, "
+                                   "two-stage QAT."),
+        training="two-stage-qat",
+    ),
+    "ours": SchemeInfo(
+        key="ours",
+        citation="Ours (this paper)",
+        scheme=_scheme("ours", "column", "column", learn_w=True, learn_p=True,
+                       scratch=True, two_stage=False,
+                       description="Column-wise weights and partial sums, learnable "
+                                   "scales for both, single-stage QAT from scratch."),
+        training="qat",
+    ),
+}
+
+
+def get_scheme(key: str, **overrides) -> QuantScheme:
+    """Return a registry scheme, optionally overriding bit widths etc."""
+    if key not in SCHEME_REGISTRY:
+        raise KeyError(f"unknown scheme {key!r}; known: {sorted(SCHEME_REGISTRY)}")
+    scheme = SCHEME_REGISTRY[key].scheme
+    return scheme.with_(**overrides) if overrides else scheme
+
+
+def related_work_schemes(weight_bits: int = 4, act_bits: int = 4,
+                         psum_bits: int = 4) -> Dict[str, QuantScheme]:
+    """All registry schemes re-parameterised to the requested bit widths."""
+    return {key: info.scheme.with_(weight_bits=weight_bits, act_bits=act_bits,
+                                   psum_bits=psum_bits)
+            for key, info in SCHEME_REGISTRY.items()}
+
+
+def all_granularity_combinations(weight_bits: int = 4, act_bits: int = 4,
+                                 psum_bits: int = 4,
+                                 quantize_psum: bool = True) -> List[QuantScheme]:
+    """The full 3x3 grid of weight x partial-sum granularities (Fig. 7 / Fig. 8)."""
+    combos = []
+    for wg in Granularity:
+        for pg in Granularity:
+            combos.append(QuantScheme(
+                name=f"{wg.value}_w__{pg.value}_p",
+                weight_bits=weight_bits, act_bits=act_bits, psum_bits=psum_bits,
+                weight_granularity=wg, psum_granularity=pg,
+                quantize_psum=quantize_psum,
+                learnable_weight_scale=True, learnable_psum_scale=True,
+                train_from_scratch=True, two_stage=False))
+    return combos
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Rows of Table I as dictionaries (used by the Table I benchmark)."""
+    rows = []
+    for key, info in SCHEME_REGISTRY.items():
+        s = info.scheme
+        rows.append({
+            "scheme": info.citation,
+            "weight_granularity": s.weight_granularity.value,
+            "weight_train_from_scratch": "yes" if (s.train_from_scratch and not s.two_stage) or key == "ours"
+            else ("yes" if s.train_from_scratch else "no (PTQ)"),
+            "weight_learnable_scale": "yes" if s.learnable_weight_scale else "no",
+            "psum_granularity": s.psum_granularity.value,
+            "psum_train_from_scratch": "no (PTQ)" if not s.train_from_scratch
+            else ("no (2-stage QAT)" if s.two_stage else "yes"),
+            "psum_learnable_scale": "yes" if s.learnable_psum_scale else "no",
+        })
+    return rows

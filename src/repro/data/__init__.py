@@ -1,0 +1,14 @@
+"""``repro.data`` — synthetic dataset substrates and loaders."""
+
+from .loaders import DataLoader, test_loader, train_loader
+from .synthetic import (DatasetSpec, SyntheticImageDataset, make_dataset,
+                        synthetic_cifar10, synthetic_cifar100, synthetic_imagenet)
+from .transforms import (Compose, Normalize, RandomCrop, RandomHorizontalFlip,
+                         standard_augmentation)
+
+__all__ = [
+    "SyntheticImageDataset", "DatasetSpec", "make_dataset",
+    "synthetic_cifar10", "synthetic_cifar100", "synthetic_imagenet",
+    "DataLoader", "train_loader", "test_loader",
+    "Compose", "Normalize", "RandomCrop", "RandomHorizontalFlip", "standard_augmentation",
+]

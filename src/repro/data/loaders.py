@@ -1,0 +1,71 @@
+"""Batch iteration over synthetic datasets."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import SyntheticImageDataset
+from .transforms import Compose
+
+__all__ = ["DataLoader", "train_loader", "test_loader"]
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling and augmentation.
+
+    Iterating yields ``(images, labels)`` NumPy pairs; a fresh permutation is
+    drawn every epoch when ``shuffle=True``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 32,
+                 shuffle: bool = False, transform: Optional[Compose] = None,
+                 drop_last: bool = False, seed: int = 0):
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images and labels must have the same length")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(self.images.shape[0], self.batch_size)
+        return full if (self.drop_last or remainder == 0) else full + 1
+
+    @property
+    def num_samples(self) -> int:
+        return self.images.shape[0]
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(self.num_samples)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self.num_samples, self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and index.size < self.batch_size:
+                break
+            batch = self.images[index]
+            if self.transform is not None:
+                batch = self.transform(batch, self._rng)
+            yield batch, self.labels[index]
+
+
+def train_loader(dataset: SyntheticImageDataset, batch_size: int = 32,
+                 transform: Optional[Compose] = None, seed: int = 0) -> DataLoader:
+    """Shuffled training loader over a synthetic dataset."""
+    return DataLoader(dataset.train_images, dataset.train_labels, batch_size=batch_size,
+                      shuffle=True, transform=transform, seed=seed)
+
+
+def test_loader(dataset: SyntheticImageDataset, batch_size: int = 64) -> DataLoader:
+    """Deterministic evaluation loader over a synthetic dataset."""
+    return DataLoader(dataset.test_images, dataset.test_labels, batch_size=batch_size,
+                      shuffle=False)

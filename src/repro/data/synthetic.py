@@ -1,0 +1,164 @@
+"""Synthetic image-classification datasets.
+
+The paper evaluates on CIFAR-10, CIFAR-100 and ImageNet, none of which can be
+downloaded in this offline reproduction.  These generators produce
+deterministic, *learnable* substitutes with the same tensor shapes:
+
+* each class is defined by a smooth random prototype image (low-frequency
+  structure, so convolutions with small receptive fields can discriminate
+  classes) plus a class-specific texture;
+* every sample is the prototype under a random spatial shift, amplitude
+  jitter and additive Gaussian noise;
+* train and test splits are disjoint samples from the same distribution.
+
+Because every quantization scheme sees exactly the same data, the *relative*
+accuracy ordering between schemes — which is what the paper's figures
+establish — is preserved, even though absolute accuracies differ from the
+paper's (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticImageDataset", "DatasetSpec", "synthetic_cifar10",
+           "synthetic_cifar100", "synthetic_imagenet", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape and size description of a synthetic dataset."""
+
+    name: str
+    num_classes: int
+    image_size: int
+    channels: int = 3
+    train_samples: int = 2048
+    test_samples: int = 512
+    noise_std: float = 0.25
+    seed: int = 0
+
+
+def _smooth_noise(rng: np.random.Generator, channels: int, size: int,
+                  smoothing: int = 3) -> np.ndarray:
+    """Low-frequency random pattern obtained by box-blurring white noise."""
+    img = rng.normal(size=(channels, size, size))
+    for _ in range(smoothing):
+        img = (img
+               + np.roll(img, 1, axis=1) + np.roll(img, -1, axis=1)
+               + np.roll(img, 1, axis=2) + np.roll(img, -1, axis=2)) / 5.0
+    return img
+
+
+class SyntheticImageDataset:
+    """Deterministic synthetic classification dataset.
+
+    Attributes
+    ----------
+    train_images, train_labels, test_images, test_labels:
+        NumPy arrays; images are ``(N, C, H, W)`` float64 roughly in
+        ``[-2, 2]``, labels are int64 class indices.
+    """
+
+    def __init__(self, spec: DatasetSpec):
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        c, s = spec.channels, spec.image_size
+
+        # class prototypes: smooth structure + class-specific texture direction
+        self.prototypes = np.stack([
+            _smooth_noise(rng, c, s) * 1.5 + 0.3 * rng.normal(size=(c, 1, 1))
+            for _ in range(spec.num_classes)
+        ])
+        self.textures = rng.normal(size=(spec.num_classes, c, s, s)) * 0.3
+
+        self.train_images, self.train_labels = self._generate(
+            rng, spec.train_samples)
+        self.test_images, self.test_labels = self._generate(
+            rng, spec.test_samples)
+
+    # ------------------------------------------------------------------ #
+    def _generate(self, rng: np.random.Generator,
+                  count: int) -> Tuple[np.ndarray, np.ndarray]:
+        spec = self.spec
+        labels = rng.integers(0, spec.num_classes, size=count)
+        images = np.empty((count, spec.channels, spec.image_size, spec.image_size))
+        for index, label in enumerate(labels):
+            base = self.prototypes[label] + self.textures[label] * rng.normal()
+            shift_h = int(rng.integers(-2, 3))
+            shift_w = int(rng.integers(-2, 3))
+            sample = np.roll(base, (shift_h, shift_w), axis=(1, 2))
+            amplitude = 1.0 + 0.15 * rng.normal()
+            sample = amplitude * sample + spec.noise_std * rng.normal(size=sample.shape)
+            images[index] = sample
+        return images, labels.astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_classes(self) -> int:
+        return self.spec.num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return (self.spec.channels, self.spec.image_size, self.spec.image_size)
+
+    def __len__(self) -> int:
+        return self.train_images.shape[0]
+
+    def subset(self, train_samples: int, test_samples: int) -> "SyntheticImageDataset":
+        """Return a view-like copy restricted to the first N samples of each split."""
+        clone = object.__new__(SyntheticImageDataset)
+        clone.spec = self.spec
+        clone.prototypes = self.prototypes
+        clone.textures = self.textures
+        clone.train_images = self.train_images[:train_samples]
+        clone.train_labels = self.train_labels[:train_samples]
+        clone.test_images = self.test_images[:test_samples]
+        clone.test_labels = self.test_labels[:test_samples]
+        return clone
+
+
+# ---------------------------------------------------------------------- #
+# named dataset constructors matching the paper's benchmarks
+# ---------------------------------------------------------------------- #
+def synthetic_cifar10(image_size: int = 32, train_samples: int = 2048,
+                      test_samples: int = 512, seed: int = 0) -> SyntheticImageDataset:
+    """CIFAR-10 stand-in: 10 classes, 3x32x32 (size reducible for CI)."""
+    return SyntheticImageDataset(DatasetSpec(
+        name="synthetic-cifar10", num_classes=10, image_size=image_size,
+        train_samples=train_samples, test_samples=test_samples, seed=seed))
+
+
+def synthetic_cifar100(image_size: int = 32, train_samples: int = 4096,
+                       test_samples: int = 1024, seed: int = 1) -> SyntheticImageDataset:
+    """CIFAR-100 stand-in: 100 classes, 3x32x32."""
+    return SyntheticImageDataset(DatasetSpec(
+        name="synthetic-cifar100", num_classes=100, image_size=image_size,
+        train_samples=train_samples, test_samples=test_samples, seed=seed))
+
+
+def synthetic_imagenet(image_size: int = 64, num_classes: int = 100,
+                       train_samples: int = 4096, test_samples: int = 1024,
+                       seed: int = 2) -> SyntheticImageDataset:
+    """ImageNet stand-in: default 100 classes at 3x64x64 (full 224 is supported
+    but impractical for CPU training)."""
+    return SyntheticImageDataset(DatasetSpec(
+        name="synthetic-imagenet", num_classes=num_classes, image_size=image_size,
+        train_samples=train_samples, test_samples=test_samples, seed=seed))
+
+
+_NAMED = {
+    "cifar10": synthetic_cifar10,
+    "cifar100": synthetic_cifar100,
+    "imagenet": synthetic_imagenet,
+}
+
+
+def make_dataset(name: str, **kwargs) -> SyntheticImageDataset:
+    """Build a named synthetic dataset (``cifar10``, ``cifar100``, ``imagenet``)."""
+    if name not in _NAMED:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(_NAMED)}")
+    return _NAMED[name](**kwargs)

@@ -1,0 +1,82 @@
+"""Data augmentation and normalisation transforms.
+
+The paper's recipe trains CIFAR models with the usual random-crop +
+horizontal-flip augmentation; the same transforms are provided here operating
+on ``(N, C, H, W)`` NumPy batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomCrop", "RandomHorizontalFlip", "standard_augmentation"]
+
+
+class Compose:
+    """Apply a sequence of batch transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class Normalize:
+    """Per-channel standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: Optional[np.ndarray] = None, std: Optional[np.ndarray] = None):
+        self.mean = mean
+        self.std = std
+
+    def fit(self, images: np.ndarray) -> "Normalize":
+        self.mean = images.mean(axis=(0, 2, 3), keepdims=True)[0]
+        self.std = images.std(axis=(0, 2, 3), keepdims=True)[0] + 1e-8
+        return self
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("Normalize must be fit() or given mean/std before use")
+        return (batch - self.mean) / self.std
+
+
+class RandomCrop:
+    """Random crop after reflect-padding, the standard CIFAR augmentation."""
+
+    def __init__(self, padding: int = 2):
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        n, c, h, w = batch.shape
+        p = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)), mode="reflect")
+        out = np.empty_like(batch)
+        offsets_h = rng.integers(0, 2 * p + 1, size=n)
+        offsets_w = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            out[i] = padded[i, :, offsets_h[i]:offsets_h[i] + h, offsets_w[i]:offsets_w[i] + w]
+        return out
+
+
+class RandomHorizontalFlip:
+    """Flip each sample left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+def standard_augmentation(padding: int = 2, flip_probability: float = 0.5) -> Compose:
+    """The CIFAR-style augmentation pipeline used for QAT from scratch."""
+    return Compose([RandomCrop(padding), RandomHorizontalFlip(flip_probability)])

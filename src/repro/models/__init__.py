@@ -1,0 +1,13 @@
+"""``repro.models`` — network architectures used by the evaluation."""
+
+from .blocks import BasicBlock, LayerFactory, conv_bn_relu
+from .registry import MODEL_REGISTRY, available_models, build_model
+from .resnet import ResNet, cifar_resnet, imagenet_resnet, resnet8, resnet18, resnet20
+from .simple import MLP, SimpleCNN, TinyCNN
+
+__all__ = [
+    "LayerFactory", "BasicBlock", "conv_bn_relu",
+    "ResNet", "resnet20", "resnet18", "resnet8", "cifar_resnet", "imagenet_resnet",
+    "SimpleCNN", "TinyCNN", "MLP",
+    "MODEL_REGISTRY", "build_model", "available_models",
+]

@@ -1,0 +1,107 @@
+"""Building blocks shared by the ResNet models.
+
+Every block takes a :class:`LayerFactory`, which decides whether convolutions
+and linear layers are built as plain full-precision layers or as CIM-quantized
+layers under a given :class:`~repro.cim.config.QuantScheme`.  This is how the
+same architecture definition serves both the full-precision baselines (dashed
+lines in Fig. 7) and every quantized scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..core.cim_conv import CIMConv2d
+from ..core.cim_linear import CIMLinear
+from ..nn.layers import Conv2d, Identity, Linear, ReLU
+from ..nn.module import Module, Sequential
+from ..nn.norm import BatchNorm2d
+from ..nn.tensor import Tensor
+
+__all__ = ["LayerFactory", "BasicBlock", "conv_bn_relu"]
+
+
+@dataclass
+class LayerFactory:
+    """Creates convolution / linear layers, optionally CIM-quantized.
+
+    ``scheme=None`` builds ordinary full-precision layers.  ``first_layer``
+    state tracks whether the next convolution is the model stem, whose input
+    activations are conventionally left unquantized.
+    """
+
+    scheme: Optional[QuantScheme] = None
+    cim_config: Optional[CIMConfig] = None
+    quantize_first_act: bool = False
+    rng: Optional[np.random.Generator] = None
+    _first_conv_built: bool = False
+
+    @property
+    def is_quantized(self) -> bool:
+        return self.scheme is not None
+
+    def conv(self, in_channels: int, out_channels: int, kernel_size: int,
+             stride: int = 1, padding: int = 0, bias: bool = False) -> Module:
+        if self.scheme is None:
+            return Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                          padding=padding, bias=bias, rng=self.rng)
+        quantize_input = True
+        if not self._first_conv_built and not self.quantize_first_act:
+            quantize_input = False
+        self._first_conv_built = True
+        return CIMConv2d(in_channels, out_channels, kernel_size, stride=stride,
+                         padding=padding, bias=bias, scheme=self.scheme,
+                         cim_config=self.cim_config or CIMConfig(),
+                         quantize_input=quantize_input, rng=self.rng)
+
+    def linear(self, in_features: int, out_features: int, bias: bool = True) -> Module:
+        if self.scheme is None:
+            return Linear(in_features, out_features, bias=bias, rng=self.rng)
+        return CIMLinear(in_features, out_features, bias=bias, scheme=self.scheme,
+                         cim_config=self.cim_config or CIMConfig(), rng=self.rng)
+
+
+def conv_bn_relu(factory: LayerFactory, in_channels: int, out_channels: int,
+                 kernel_size: int, stride: int = 1, padding: int = 0) -> Sequential:
+    """Conv -> BatchNorm -> ReLU, the standard stem composition."""
+    return Sequential(
+        factory.conv(in_channels, out_channels, kernel_size, stride=stride,
+                     padding=padding, bias=False),
+        BatchNorm2d(out_channels),
+        ReLU(),
+    )
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convolutions with an identity shortcut."""
+
+    expansion = 1
+
+    def __init__(self, factory: LayerFactory, in_channels: int, out_channels: int,
+                 stride: int = 1):
+        super().__init__()
+        self.conv1 = factory.conv(in_channels, out_channels, 3, stride=stride,
+                                  padding=1, bias=False)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = factory.conv(out_channels, out_channels, 3, stride=1,
+                                  padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                factory.conv(in_channels, out_channels, 1, stride=stride, bias=False),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu(out)

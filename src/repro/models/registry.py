@@ -1,0 +1,41 @@
+"""Model registry mapping experiment names to constructors.
+
+The experiment configuration files (Table II) refer to models by name; this
+registry resolves those names, including the reduced variants used for the
+CPU-scale reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..nn.module import Module
+from .resnet import resnet8, resnet18, resnet20
+from .simple import MLP, SimpleCNN, TinyCNN
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+ModelBuilder = Callable[..., Module]
+
+MODEL_REGISTRY: Dict[str, ModelBuilder] = {
+    "resnet20": resnet20,
+    "resnet18": resnet18,
+    "resnet8": resnet8,
+    "simple_cnn": SimpleCNN,
+    "tiny_cnn": TinyCNN,
+    "mlp": MLP,
+}
+
+
+def available_models() -> list:
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, num_classes: int, scheme: Optional[QuantScheme] = None,
+                cim_config: Optional[CIMConfig] = None, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    builder = MODEL_REGISTRY[name]
+    return builder(num_classes=num_classes, scheme=scheme, cim_config=cim_config, **kwargs)

@@ -1,0 +1,159 @@
+"""ResNet architectures used in the paper's evaluation.
+
+* :func:`resnet20` — the CIFAR-10 / CIFAR-100 model of Table II
+  (3 stages x 3 basic blocks, 16/32/64 channels).
+* :func:`resnet18` — the ImageNet model of Table II / Table III
+  (7x7 stem, 4 stages x 2 basic blocks, 64..512 channels).
+* Reduced variants (``resnet8``, ``width_multiplier < 1``) used by the
+  benchmark harness so every quantization scheme can be trained end-to-end on
+  CPU within the reproduction's compute budget; the architecture topology is
+  unchanged, only depth / width shrink.
+
+Every constructor accepts a :class:`~repro.cim.config.QuantScheme`; passing
+``None`` builds the full-precision baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..nn.layers import Flatten, GlobalAvgPool2d, MaxPool2d, ReLU
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.norm import BatchNorm2d
+from ..nn.tensor import Tensor
+from .blocks import BasicBlock, LayerFactory
+
+__all__ = ["ResNet", "resnet20", "resnet18", "resnet8", "cifar_resnet", "imagenet_resnet"]
+
+
+class ResNet(Module):
+    """Generic ResNet with basic blocks.
+
+    Parameters
+    ----------
+    stage_blocks:
+        Number of basic blocks per stage.
+    stage_channels:
+        Output channels of each stage.
+    num_classes:
+        Classifier width.
+    stem:
+        ``"cifar"`` — 3x3 stride-1 stem (ResNet-20 style);
+        ``"imagenet"`` — 7x7 stride-2 stem followed by 3x3 max-pool
+        (ResNet-18 style).
+    scheme / cim_config:
+        Quantization scheme; ``None`` builds the full-precision model.
+    """
+
+    def __init__(self, stage_blocks: Sequence[int], stage_channels: Sequence[int],
+                 num_classes: int = 10, in_channels: int = 3, stem: str = "cifar",
+                 scheme: Optional[QuantScheme] = None,
+                 cim_config: Optional[CIMConfig] = None,
+                 seed: int = 0):
+        super().__init__()
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have equal length")
+        if stem not in ("cifar", "imagenet"):
+            raise ValueError("stem must be 'cifar' or 'imagenet'")
+        self.scheme = scheme
+        self.cim_config = cim_config
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+        factory = LayerFactory(scheme=scheme, cim_config=cim_config, rng=rng)
+
+        first_width = stage_channels[0]
+        if stem == "cifar":
+            self.stem = Sequential(
+                factory.conv(in_channels, first_width, 3, stride=1, padding=1, bias=False),
+                BatchNorm2d(first_width),
+                ReLU(),
+            )
+        else:
+            self.stem = Sequential(
+                factory.conv(in_channels, first_width, 7, stride=2, padding=3, bias=False),
+                BatchNorm2d(first_width),
+                ReLU(),
+                MaxPool2d(3, stride=2, padding=1),
+            )
+
+        stages = []
+        in_ch = first_width
+        for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, stage_channels)):
+            stride = 1 if stage_index == 0 else 2
+            stage_layers = []
+            for block_index in range(blocks):
+                block_stride = stride if block_index == 0 else 1
+                stage_layers.append(BasicBlock(factory, in_ch, channels, stride=block_stride))
+                in_ch = channels
+            stages.append(Sequential(*stage_layers))
+        self.stages = ModuleList(stages)
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = factory.linear(in_ch, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for stage in self.stages:
+            out = stage(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+    def describe(self) -> str:
+        kind = "FP32" if self.scheme is None else self.scheme.label()
+        return (f"ResNet(blocks={[len(s) for s in self.stages]}, "
+                f"classes={self.num_classes}, scheme={kind}, "
+                f"params={self.num_parameters()})")
+
+
+def _scaled(channels: Sequence[int], width_multiplier: float) -> List[int]:
+    return [max(4, int(round(c * width_multiplier))) for c in channels]
+
+
+def resnet20(num_classes: int = 10, scheme: Optional[QuantScheme] = None,
+             cim_config: Optional[CIMConfig] = None, width_multiplier: float = 1.0,
+             seed: int = 0) -> ResNet:
+    """ResNet-20 (CIFAR): 3 stages x 3 basic blocks, 16/32/64 channels."""
+    return ResNet([3, 3, 3], _scaled([16, 32, 64], width_multiplier),
+                  num_classes=num_classes, stem="cifar", scheme=scheme,
+                  cim_config=cim_config, seed=seed)
+
+
+def resnet18(num_classes: int = 1000, scheme: Optional[QuantScheme] = None,
+             cim_config: Optional[CIMConfig] = None, width_multiplier: float = 1.0,
+             seed: int = 0) -> ResNet:
+    """ResNet-18 (ImageNet): 7x7 stem + 4 stages x 2 basic blocks, 64..512 channels."""
+    return ResNet([2, 2, 2, 2], _scaled([64, 128, 256, 512], width_multiplier),
+                  num_classes=num_classes, stem="imagenet", scheme=scheme,
+                  cim_config=cim_config, seed=seed)
+
+
+def resnet8(num_classes: int = 10, scheme: Optional[QuantScheme] = None,
+            cim_config: Optional[CIMConfig] = None, width_multiplier: float = 1.0,
+            seed: int = 0) -> ResNet:
+    """ResNet-8: one basic block per stage; the CI-scale stand-in for ResNet-20."""
+    return ResNet([1, 1, 1], _scaled([16, 32, 64], width_multiplier),
+                  num_classes=num_classes, stem="cifar", scheme=scheme,
+                  cim_config=cim_config, seed=seed)
+
+
+def cifar_resnet(depth: int = 20, **kwargs) -> ResNet:
+    """CIFAR ResNet of a given depth (depth = 6n + 2)."""
+    if (depth - 2) % 6 != 0:
+        raise ValueError("CIFAR ResNet depth must satisfy depth = 6n + 2")
+    blocks_per_stage = (depth - 2) // 6
+    width = kwargs.pop("width_multiplier", 1.0)
+    return ResNet([blocks_per_stage] * 3, _scaled([16, 32, 64], width),
+                  stem="cifar", **kwargs)
+
+
+def imagenet_resnet(depth: int = 18, **kwargs) -> ResNet:
+    """ImageNet ResNet (only the basic-block depths 18 and 34 are supported)."""
+    configs = {18: [2, 2, 2, 2], 34: [3, 4, 6, 3]}
+    if depth not in configs:
+        raise ValueError("supported ImageNet ResNet depths: 18, 34")
+    width = kwargs.pop("width_multiplier", 1.0)
+    return ResNet(configs[depth], _scaled([64, 128, 256, 512], width),
+                  stem="imagenet", **kwargs)

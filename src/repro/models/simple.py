@@ -1,0 +1,102 @@
+"""Small CNN / MLP models for unit tests and quick experiments.
+
+These models share the :class:`~repro.models.blocks.LayerFactory` mechanism of
+the ResNets, so they exercise the exact same CIM layers with far less compute.
+The property-based tests and several benchmark sanity checks use them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..nn.layers import Flatten, GlobalAvgPool2d, MaxPool2d, ReLU
+from ..nn.module import Module, Sequential
+from ..nn.norm import BatchNorm2d
+from ..nn.tensor import Tensor
+from .blocks import LayerFactory
+
+__all__ = ["SimpleCNN", "TinyCNN", "MLP"]
+
+
+class SimpleCNN(Module):
+    """Three-stage CNN: (conv-bn-relu) x 3 with stride-2 downsampling + linear head."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 channels: Sequence[int] = (16, 32, 64),
+                 scheme: Optional[QuantScheme] = None,
+                 cim_config: Optional[CIMConfig] = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        factory = LayerFactory(scheme=scheme, cim_config=cim_config, rng=rng)
+        self.scheme = scheme
+        layers = []
+        prev = in_channels
+        for index, width in enumerate(channels):
+            stride = 1 if index == 0 else 2
+            layers += [
+                factory.conv(prev, width, 3, stride=stride, padding=1, bias=False),
+                BatchNorm2d(width),
+                ReLU(),
+            ]
+            prev = width
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.fc = factory.linear(prev, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.pool(out)
+        return self.fc(out)
+
+
+class TinyCNN(Module):
+    """Two-layer CNN used by the fastest unit tests."""
+
+    def __init__(self, num_classes: int = 4, in_channels: int = 3, width: int = 8,
+                 scheme: Optional[QuantScheme] = None,
+                 cim_config: Optional[CIMConfig] = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        factory = LayerFactory(scheme=scheme, cim_config=cim_config, rng=rng)
+        self.scheme = scheme
+        self.features = Sequential(
+            factory.conv(in_channels, width, 3, stride=1, padding=1, bias=False),
+            BatchNorm2d(width),
+            ReLU(),
+            factory.conv(width, width * 2, 3, stride=2, padding=1, bias=False),
+            BatchNorm2d(width * 2),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.fc = factory.linear(width * 2, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.pool(self.features(x)))
+
+
+class MLP(Module):
+    """Fully-connected network; exercises :class:`CIMLinear` end to end."""
+
+    def __init__(self, in_features: int, num_classes: int,
+                 hidden: Sequence[int] = (64,),
+                 scheme: Optional[QuantScheme] = None,
+                 cim_config: Optional[CIMConfig] = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        factory = LayerFactory(scheme=scheme, cim_config=cim_config, rng=rng)
+        self.scheme = scheme
+        layers = []
+        prev = in_features
+        for width in hidden:
+            layers += [factory.linear(prev, width), ReLU()]
+            prev = width
+        layers.append(factory.linear(prev, num_classes))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)

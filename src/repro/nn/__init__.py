@@ -1,0 +1,33 @@
+"""``repro.nn`` — a NumPy reverse-mode autodiff and neural-network substrate.
+
+The paper trains ResNet models with PyTorch; this package provides the
+equivalent primitives (tensors with autograd, convolution / normalisation /
+pooling layers, SGD, LR schedules and losses) so the quantization framework
+in :mod:`repro.quant` and :mod:`repro.core` can run end-to-end without any
+external deep-learning dependency.
+"""
+
+from . import functional
+from . import init
+from .gradcheck import gradcheck, numerical_gradient
+from .layers import (AvgPool2d, Conv2d, Dropout, Flatten, GlobalAvgPool2d, Identity,
+                     Linear, MaxPool2d, ReLU, ReLU6)
+from .losses import CrossEntropyLoss, KLDistillationLoss, MSELoss
+from .lr_scheduler import (CosineAnnealingLR, LRScheduler, MultiStepLR, StepLR,
+                           WarmupCosineLR)
+from .module import Module, ModuleList, Sequential
+from .norm import BatchNorm1d, BatchNorm2d
+from .optim import SGD, Adam, Optimizer
+from .tensor import Parameter, Tensor, is_grad_enabled, no_grad, tensor
+
+__all__ = [
+    "Tensor", "Parameter", "tensor", "no_grad", "is_grad_enabled",
+    "Module", "Sequential", "ModuleList",
+    "Linear", "Conv2d", "ReLU", "ReLU6", "Identity", "Flatten",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Dropout",
+    "BatchNorm1d", "BatchNorm2d",
+    "CrossEntropyLoss", "MSELoss", "KLDistillationLoss",
+    "Optimizer", "SGD", "Adam",
+    "LRScheduler", "CosineAnnealingLR", "StepLR", "MultiStepLR", "WarmupCosineLR",
+    "functional", "init", "gradcheck", "numerical_gradient",
+]

@@ -1,0 +1,54 @@
+"""Numerical gradient checking used by the test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(fn: Callable[[], Tensor], param: Tensor,
+                       eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` w.r.t. ``param``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn().item()
+        flat[index] = original - eps
+        minus = fn().item()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def gradcheck(fn: Callable[[], Tensor], params: Sequence[Tensor],
+              eps: float = 1e-5, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Compare analytic and numerical gradients for every tensor in ``params``.
+
+    ``fn`` must rebuild the graph on every call (it is re-evaluated many times
+    for the finite differences).  Raises ``AssertionError`` with a diagnostic
+    message on mismatch and returns ``True`` otherwise.
+    """
+    for param in params:
+        param.grad = None
+    loss = fn()
+    loss.backward()
+    analytic = [None if p.grad is None else p.grad.copy() for p in params]
+
+    for param, analytic_grad in zip(params, analytic):
+        numeric = numerical_gradient(fn, param, eps=eps)
+        if analytic_grad is None:
+            analytic_grad = np.zeros_like(numeric)
+        if not np.allclose(analytic_grad, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic_grad - numeric))
+            raise AssertionError(
+                f"gradient mismatch for parameter {param.name or param.shape}: "
+                f"max abs diff {worst:.3e}\nanalytic:\n{analytic_grad}\nnumeric:\n{numeric}")
+    return True

@@ -1,0 +1,95 @@
+"""Weight initialisation utilities (Kaiming / Xavier / constant)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "calculate_fan",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "default_rng",
+]
+
+_GLOBAL_SEED = 0
+
+
+def default_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Library-wide RNG factory so every initialiser is reproducible."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for linear or convolutional weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        return in_channels * receptive, out_channels * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape, gain: float = math.sqrt(2.0),
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialisation suited to ReLU networks."""
+    rng = rng or default_rng()
+    fan_in, _ = calculate_fan(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, gain: float = math.sqrt(2.0),
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, _ = calculate_fan(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape, gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, gain: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape, mean: float = 0.0, std: float = 0.01,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

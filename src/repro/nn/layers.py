@@ -1,0 +1,164 @@
+"""Standard neural-network layers (full-precision reference implementations).
+
+These layers are the floating-point substrate on which the CIM-quantized
+layers in :mod:`repro.core` are built: ``CIMConv2d`` re-uses the same
+convolution geometry and initialisation but replaces the MAC datapath with the
+bit-split / array-tiled / partial-sum-quantized pipeline of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module
+from .tensor import Parameter, Tensor
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "ReLU6",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features),
+                                                     gain=1.0, rng=rng), name="weight")
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), -bound, bound, rng=rng),
+                                  name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"
+
+
+class Conv2d(Module):
+    """Full-precision 2-D convolution layer."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: IntPair,
+                 stride: IntPair = 1, padding: IntPair = 0, groups: int = 1,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        if in_channels % groups != 0 or out_channels % groups != 0:
+            raise ValueError("channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        weight_shape = (out_channels, in_channels // groups, kh, kw)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng=rng), name="weight")
+        if bias:
+            fan_in = (in_channels // groups) * kh * kw
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound, rng=rng),
+                                  name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, groups=self.groups)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"s={self.stride}, p={self.padding}, g={self.groups}")
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6, a common companion of low-bit activation quantization."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clamp(0.0, 6.0)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, s={self.stride}, p={self.padding}"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling returning ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

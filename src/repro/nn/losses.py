@@ -1,0 +1,51 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "KLDistillationLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy over raw logits with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels, self.label_smoothing)
+
+
+class MSELoss(Module):
+    """Mean-squared error; used for layer-wise quantization-error analysis."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target.detach()
+        return (diff * diff).mean()
+
+
+class KLDistillationLoss(Module):
+    """KL divergence between a student and a (detached) teacher distribution.
+
+    Useful when recovering accuracy of a partial-sum-quantized model from its
+    full-precision counterpart without retraining from scratch.
+    """
+
+    def __init__(self, temperature: float = 1.0):
+        super().__init__()
+        self.temperature = temperature
+
+    def forward(self, student_logits: Tensor, teacher_logits: Tensor) -> Tensor:
+        t = self.temperature
+        student_log_probs = F.log_softmax(student_logits * (1.0 / t), axis=-1)
+        teacher_probs = F.softmax(teacher_logits.detach() * (1.0 / t), axis=-1)
+        loss = -(teacher_probs.detach() * student_log_probs).sum(axis=-1).mean()
+        entropy = -(teacher_probs.data * np.log(np.maximum(teacher_probs.data, 1e-12))).sum(axis=-1).mean()
+        return (loss - float(entropy)) * (t * t)

@@ -1,0 +1,87 @@
+"""Learning-rate schedules used by the QAT training recipes."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "MultiStepLR", "WarmupCosineLR"]
+
+
+class LRScheduler:
+    """Base class: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.param_groups[0]["lr"]
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.last_epoch += 1
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = max(int(t_max), 1)
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = max(int(step_size), 1)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones: List[int] = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warm-up followed by cosine decay."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, t_max: int,
+                 eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.warmup_epochs = max(int(warmup_epochs), 0)
+        self.t_max = max(int(t_max), 1)
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / max(self.warmup_epochs, 1)
+        progress = (epoch - self.warmup_epochs) / max(self.t_max - self.warmup_epochs, 1)
+        progress = min(progress, 1.0)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

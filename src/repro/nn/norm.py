@@ -1,0 +1,91 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .module import Module
+from .tensor import Parameter, Tensor, no_grad
+
+__all__ = ["BatchNorm2d", "BatchNorm1d"]
+
+
+class _BatchNorm(Module):
+    """Shared implementation for 1-D / 2-D batch normalisation."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True, track_running_stats: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        self.track_running_stats = track_running_stats
+        if affine:
+            self.weight = Parameter(np.ones(num_features), name="weight")
+            self.bias = Parameter(np.zeros(num_features), name="bias")
+        else:
+            self.weight = None
+            self.bias = None
+        if track_running_stats:
+            self.register_buffer("running_mean", np.zeros(num_features))
+            self.register_buffer("running_var", np.ones(num_features))
+            self.register_buffer("num_batches_tracked", np.zeros(1))
+
+    def _reduce_axes(self, x: Tensor) -> tuple:
+        raise NotImplementedError
+
+    def _param_shape(self, x: Tensor) -> tuple:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._reduce_axes(x)
+        shape = self._param_shape(x)
+
+        if self.training or not self.track_running_stats:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            if self.track_running_stats:
+                with no_grad():
+                    m = self.momentum
+                    batch_mean = mean.data.reshape(self.num_features)
+                    # unbiased variance estimate for the running buffer
+                    count = x.size / self.num_features
+                    unbias = count / max(count - 1.0, 1.0)
+                    batch_var = var.data.reshape(self.num_features) * unbias
+                    self.running_mean[...] = (1 - m) * self.running_mean + m * batch_mean
+                    self.running_var[...] = (1 - m) * self.running_var + m * batch_var
+                    self.num_batches_tracked[...] = self.num_batches_tracked + 1
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+
+        x_hat = (x - mean) / (var + self.eps).sqrt()
+        if self.affine:
+            x_hat = x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
+        return x_hat
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over ``(N, C, H, W)`` inputs."""
+
+    def _reduce_axes(self, x: Tensor) -> tuple:
+        return (0, 2, 3)
+
+    def _param_shape(self, x: Tensor) -> tuple:
+        return (1, self.num_features, 1, 1)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over ``(N, C)`` or ``(N, C, L)`` inputs."""
+
+    def _reduce_axes(self, x: Tensor) -> tuple:
+        return (0,) if x.ndim == 2 else (0, 2)
+
+    def _param_shape(self, x: Tensor) -> tuple:
+        return (1, self.num_features) if x.ndim == 2 else (1, self.num_features, 1)

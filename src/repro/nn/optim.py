@@ -1,0 +1,129 @@
+"""Optimisers for quantization-aware training.
+
+SGD with momentum is the optimiser used by the paper's QAT recipe
+(ResNet-20/18 trained from scratch); Adam is provided for the smaller
+synthetic-data experiments where it converges in fewer epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser holding parameter groups.
+
+    Parameters may be passed either as a flat iterable or as a list of
+    ``{"params": [...], "lr": ..., "weight_decay": ...}`` group dictionaries,
+    which is how the training code assigns a smaller learning rate and zero
+    weight decay to LSQ scale factors.
+    """
+
+    def __init__(self, params, defaults: Dict[str, float]):
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        params = list(params)
+        if params and isinstance(params[0], dict):
+            for group in params:
+                merged = dict(defaults)
+                merged.update({k: v for k, v in group.items() if k != "params"})
+                merged["params"] = list(group["params"])
+                self.param_groups.append(merged)
+        else:
+            merged = dict(defaults)
+            merged["params"] = params
+            self.param_groups.append(merged)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.grad = None
+
+    def parameters(self) -> List[Parameter]:
+        return [p for group in self.param_groups for p in group["params"]]
+
+    @property
+    def lr(self) -> float:
+        return self.param_groups[0]["lr"]
+
+    def set_lr(self, lr: float) -> None:
+        """Scale every group's learning rate by ``lr / base_lr`` of group 0."""
+        base = self.param_groups[0].get("base_lr", self.param_groups[0]["lr"])
+        for group in self.param_groups:
+            group_base = group.setdefault("base_lr", group["lr"])
+            group["lr"] = group_base * (lr / base) if base else lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and decoupled weight decay."""
+
+    def __init__(self, params, lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, {"lr": lr, "momentum": momentum,
+                                  "weight_decay": weight_decay, "nesterov": nesterov})
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay:
+                    grad = grad + weight_decay * param.data
+                if momentum:
+                    state = self.state.setdefault(id(param), {})
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                    else:
+                        buf = momentum * buf + grad
+                    state["momentum_buffer"] = buf
+                    grad = grad + momentum * buf if nesterov else buf
+                param.data = param.data - lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, {"lr": lr, "beta1": betas[0], "beta2": betas[1],
+                                  "eps": eps, "weight_decay": weight_decay})
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["beta1"], group["beta2"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay:
+                    grad = grad + weight_decay * param.data
+                state = self.state.setdefault(id(param), {})
+                if not state:
+                    state["step"] = 0
+                    state["m"] = np.zeros_like(param.data)
+                    state["v"] = np.zeros_like(param.data)
+                state["step"] += 1
+                state["m"] = beta1 * state["m"] + (1 - beta1) * grad
+                state["v"] = beta2 * state["v"] + (1 - beta2) * grad * grad
+                m_hat = state["m"] / (1 - beta1 ** state["step"])
+                v_hat = state["v"] / (1 - beta2 ** state["step"])
+                param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + eps)

@@ -1,0 +1,698 @@
+"""Reverse-mode automatic differentiation on top of NumPy arrays.
+
+This module provides the :class:`Tensor` class used throughout the library.  It
+is a deliberately small, explicit engine: every differentiable primitive
+records a backward closure on a tape, and :meth:`Tensor.backward` walks the
+tape in reverse topological order.
+
+The engine supports the operations needed by the CIM quantization framework:
+
+* broadcasting arithmetic with correct gradient reduction,
+* (batched) matrix multiplication,
+* reductions (sum / mean / max / min) over arbitrary axes,
+* shape manipulation (reshape, transpose, pad, slice, concatenate),
+* ``im2col``-style unfolding with a scatter-add backward (``fold``),
+* straight-through-estimator rounding and gradient scaling, which are the two
+  non-standard primitives required by LSQ quantization-aware training.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "tensor"]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling gradient tracking inside the block."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record gradients."""
+    return _GRAD_ENABLED
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype != dtype:
+            return data.astype(dtype)
+        return data
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
+
+    Broadcasting may have added leading dimensions and/or stretched size-1
+    dimensions; the gradient of a broadcast is the sum over the broadcast
+    axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were expanded from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 1000  # ensure ndarray.__op__(Tensor) defers to Tensor
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})\n{self.data!r}"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a reference, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        parents = tuple(parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad or p._parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, dtype=self.data.dtype)
+
+        # Topological ordering of the graph reachable from ``self``.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(-grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self):
+        data = -self.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        return self.matmul(other)
+
+    # comparisons produce detached boolean/float tensors
+    def __gt__(self, other):
+        other = self._coerce(other)
+        return Tensor((self.data > other.data).astype(self.data.dtype))
+
+    def __lt__(self, other):
+        other = self._coerce(other)
+        return Tensor((self.data < other.data).astype(self.data.dtype))
+
+    def __ge__(self, other):
+        other = self._coerce(other)
+        return Tensor((self.data >= other.data).astype(self.data.dtype))
+
+    def __le__(self, other):
+        other = self._coerce(other)
+        return Tensor((self.data <= other.data).astype(self.data.dtype))
+
+    # ------------------------------------------------------------------ #
+    # elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(data, 1e-30))
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data ** 2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clamp(self, low: Optional[float] = None, high: Optional[float] = None) -> "Tensor":
+        """Clip values to ``[low, high]``; gradient is zero where clipped."""
+        data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(data, (self,), backward)
+
+    def round_ste(self) -> "Tensor":
+        """Round to nearest integer, with straight-through (identity) gradient."""
+        data = np.round(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def floor_ste(self) -> "Tensor":
+        """Floor, with straight-through (identity) gradient."""
+        data = np.floor(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def scale_grad(self, factor: float) -> "Tensor":
+        """Identity in the forward pass; multiplies the gradient by ``factor``.
+
+        This is the gradient-scaling trick used by LSQ to normalise the scale
+        factor's gradient magnitude.
+        """
+        data = self.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * factor)
+
+        return Tensor._make(data, (self,), backward)
+
+    def where(self, condition: Union["Tensor", np.ndarray], other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Select ``self`` where ``condition`` is true, ``other`` elsewhere."""
+        cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+        cond = cond.astype(bool)
+        other = self._coerce(other)
+        data = np.where(cond, self.data, other.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * cond)
+            if other.requires_grad:
+                other._accumulate(grad * (~cond))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = np.maximum(self.data, other.data)
+        take_self = self.data >= other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * take_self)
+            if other.requires_grad:
+                other._accumulate(grad * (~take_self))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def minimum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        data = np.minimum(self.data, other.data)
+        take_self = self.data <= other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * take_self)
+            if other.requires_grad:
+                other._accumulate(grad * (~take_self))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+            self._accumulate(np.broadcast_to(g, self.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False, eps: float = 0.0) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        if eps:
+            out = out + eps
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            full = data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axis=tuple(sorted(axes)))
+                full = np.expand_dims(data, axis=tuple(sorted(axes)))
+            mask = (self.data == full)
+            # Split gradient equally between ties to keep the sum of gradients
+            # equal to the upstream gradient.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.broadcast_to(g, self.shape) * mask / counts)
+
+        return Tensor._make(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(axes)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.squeeze(np.asarray(grad), axis=axis))
+
+        return Tensor._make(data, (self,), backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        original = self.shape
+        data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad).reshape(original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        data = np.broadcast_to(self.data, shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(np.asarray(grad), original))
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad(self, pad_width, value: float = 0.0) -> "Tensor":
+        """Pad with a constant ``value``.  ``pad_width`` follows ``np.pad``."""
+        data = np.pad(self.data, pad_width, mode="constant", constant_values=value)
+        slices = tuple(slice(before, before + dim)
+                       for (before, _after), dim in zip(pad_width, self.shape))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.asarray(grad)[slices])
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        original_shape = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros(original_shape, dtype=self.data.dtype)
+                np.add.at(full, index, np.asarray(grad))
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(start, stop)
+                    t._accumulate(grad[tuple(index)])
+
+        return Tensor._make(data, tensors, backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        expanded = [t.expand_dims(axis) for t in tensors]
+        return Tensor.concatenate(expanded, axis=axis)
+
+    # ------------------------------------------------------------------ #
+    # linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Matrix product with NumPy batched-matmul broadcasting semantics.
+
+        Supports the 1-D / 2-D special cases of ``np.matmul`` as well as
+        broadcast batched matmul for operands with ``ndim >= 2``.
+        """
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        data = np.matmul(a, b)
+
+        def _reduce_batch(grad_operand: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+            """Sum gradient over broadcast batch dimensions of a matmul operand."""
+            if grad_operand.shape == shape:
+                return grad_operand
+            extra = grad_operand.ndim - len(shape)
+            if extra > 0:
+                grad_operand = grad_operand.sum(axis=tuple(range(extra)))
+            axes = tuple(i for i, dim in enumerate(shape)
+                         if dim == 1 and grad_operand.shape[i] != 1)
+            if axes:
+                grad_operand = grad_operand.sum(axis=axes, keepdims=True)
+            return grad_operand.reshape(shape)
+
+        def backward(grad):
+            grad = np.asarray(grad)
+            if a.ndim == 1 and b.ndim == 1:
+                # inner product -> scalar
+                if self.requires_grad:
+                    self._accumulate(grad * b)
+                if other.requires_grad:
+                    other._accumulate(grad * a)
+                return
+            if a.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                if self.requires_grad:
+                    ga = np.matmul(grad[..., None, :], np.swapaxes(b, -1, -2))[..., 0, :]
+                    self._accumulate(_unbroadcast(ga, a.shape))
+                if other.requires_grad:
+                    gb = np.multiply.outer(a, grad) if b.ndim == 2 else \
+                        np.einsum("k,...n->...kn", a, grad)
+                    other._accumulate(_reduce_batch(np.asarray(gb), b.shape))
+                return
+            if b.ndim == 1:
+                # (..., m, k) @ (k,) -> (..., m)
+                if self.requires_grad:
+                    ga = np.einsum("...m,k->...mk", grad, b)
+                    self._accumulate(_reduce_batch(ga, a.shape))
+                if other.requires_grad:
+                    gb = np.einsum("...mk,...m->k", a, grad)
+                    other._accumulate(gb.reshape(b.shape))
+                return
+            # general batched case: both operands >= 2-D
+            if self.requires_grad:
+                ga = np.matmul(grad, np.swapaxes(b, -1, -2))
+                self._accumulate(_reduce_batch(ga, a.shape))
+            if other.requires_grad:
+                gb = np.matmul(np.swapaxes(a, -1, -2), grad)
+                other._accumulate(_reduce_batch(gb, b.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a learnable module parameter."""
+
+    def __init__(self, data: ArrayLike, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)

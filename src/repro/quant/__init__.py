@@ -1,0 +1,32 @@
+"""``repro.quant`` — granularity-aware quantization primitives.
+
+Provides the building blocks of the paper's quantization scheme:
+
+* :class:`~repro.quant.granularity.Granularity` — layer / array / column
+  scale-factor sharing,
+* :class:`~repro.quant.lsq.LSQQuantizer` — learnable-scale quantizer (LSQ)
+  extended to per-array and per-column scale tensors,
+* PTQ observers for the non-learnable baselines,
+* weight bit-splitting for multi-cell weights.
+"""
+
+from .bitsplit import (BitSplitConfig, merge_splits, num_splits, split_ranges,
+                       split_signed, split_tensor_ste)
+from .fake_quant import (QuantRange, dequantize_from_int, fake_quantize,
+                         fake_quantize_tensor, quant_range, quantization_error,
+                         quantize_to_int)
+from .granularity import (Granularity, finer, psum_group_size, psum_scale_shape,
+                          weight_group_size, weight_scale_shape)
+from .lsq import LSQQuantizer, lsq_init_scale, lsq_quantize
+from .observers import MeanAbsObserver, MinMaxObserver, Observer, PercentileObserver
+
+__all__ = [
+    "Granularity", "finer", "weight_scale_shape", "psum_scale_shape",
+    "weight_group_size", "psum_group_size",
+    "QuantRange", "quant_range", "fake_quantize", "fake_quantize_tensor",
+    "quantize_to_int", "dequantize_from_int", "quantization_error",
+    "LSQQuantizer", "lsq_quantize", "lsq_init_scale",
+    "Observer", "MinMaxObserver", "PercentileObserver", "MeanAbsObserver",
+    "BitSplitConfig", "num_splits", "split_signed", "merge_splits",
+    "split_tensor_ste", "split_ranges",
+]

@@ -1,0 +1,155 @@
+"""Weight bit-splitting for bit-scalable CIM arrays.
+
+A ``weight_bits``-wide signed integer weight cannot be stored in a single
+memory cell when the cell holds fewer than ``weight_bits`` bits.  The weight
+is therefore split into ``n_splits = ceil(weight_bits / cell_bits)`` slices
+("bit-splits"); each slice occupies its own column of cells, produces its own
+partial sum, and the digitized partial sums are shift-and-added with weights
+``2**(split_index * cell_bits)`` (Fig. 5 of the paper).
+
+Encoding
+--------
+We use a two's-complement grouping: the low slices hold unsigned
+``cell_bits``-wide fields and the top slice holds the remaining
+``weight_bits - (n_splits - 1) * cell_bits`` bits interpreted as signed.  This
+gives the exact reconstruction invariant
+
+``sum_j  split_j * 2**(j * cell_bits)  ==  w_int``
+
+which the property-based tests rely on.  (Physically the signed top slice
+corresponds to the standard differential-column / reference-subtraction
+technique; functionally it exercises the same partial-sum path.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["BitSplitConfig", "num_splits", "split_signed", "merge_splits",
+           "split_tensor_ste", "split_ranges"]
+
+
+@dataclass(frozen=True)
+class BitSplitConfig:
+    """Static description of a bit-splitting arrangement."""
+
+    weight_bits: int
+    cell_bits: int
+
+    def __post_init__(self):
+        if self.weight_bits < 1 or self.cell_bits < 1:
+            raise ValueError("weight_bits and cell_bits must be >= 1")
+        if self.cell_bits > self.weight_bits:
+            raise ValueError("cell_bits may not exceed weight_bits")
+
+    @property
+    def n_splits(self) -> int:
+        return num_splits(self.weight_bits, self.cell_bits)
+
+    @property
+    def top_bits(self) -> int:
+        """Number of bits carried by the (signed) top slice."""
+        return self.weight_bits - (self.n_splits - 1) * self.cell_bits
+
+    @property
+    def shift_factors(self) -> np.ndarray:
+        """Per-split shift-and-add factors ``2**(j*cell_bits)``."""
+        return np.array([2.0 ** (j * self.cell_bits) for j in range(self.n_splits)])
+
+
+def num_splits(weight_bits: int, cell_bits: int) -> int:
+    """Number of memory cells needed per weight."""
+    return int(math.ceil(weight_bits / cell_bits))
+
+
+def split_ranges(config: BitSplitConfig) -> List[Tuple[int, int]]:
+    """Return the ``(min, max)`` integer range each split slice may take."""
+    ranges = []
+    for j in range(config.n_splits):
+        if j < config.n_splits - 1:
+            ranges.append((0, 2 ** config.cell_bits - 1))
+        else:
+            top = config.top_bits
+            if top == 1:
+                ranges.append((-1, 0))
+            else:
+                ranges.append((-(2 ** (top - 1)), 2 ** (top - 1) - 1))
+    return ranges
+
+
+def split_signed(w_int: np.ndarray, config: BitSplitConfig) -> np.ndarray:
+    """Split signed integer weights into bit slices.
+
+    Parameters
+    ----------
+    w_int:
+        Integer-valued array (float dtype is accepted) within the signed
+        ``weight_bits`` range.
+    config:
+        Bit-split arrangement.
+
+    Returns
+    -------
+    np.ndarray
+        Array of shape ``(n_splits,) + w_int.shape`` with slice ``j`` holding
+        the ``j``-th least-significant field.
+    """
+    bits, cell = config.weight_bits, config.cell_bits
+    n = config.n_splits
+    w = np.asarray(np.round(w_int), dtype=np.int64)
+    lo, hi = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    if w.min(initial=0) < lo or w.max(initial=0) > hi:
+        raise ValueError(f"weights out of signed {bits}-bit range [{lo}, {hi}]")
+    unsigned = np.mod(w, 2 ** bits)  # two's-complement representation
+    splits = np.empty((n,) + w.shape, dtype=np.float64)
+    for j in range(n):
+        field = (unsigned >> (j * cell)) & (2 ** cell - 1)
+        if j == n - 1:
+            top = config.top_bits
+            field = field & (2 ** top - 1)
+            # reinterpret the top field as signed over `top` bits
+            field = np.where(field >= 2 ** (top - 1), field - 2 ** top, field)
+        splits[j] = field
+    return splits
+
+
+def merge_splits(splits: np.ndarray, config: BitSplitConfig) -> np.ndarray:
+    """Inverse of :func:`split_signed` via shift-and-add."""
+    factors = config.shift_factors.reshape((config.n_splits,) + (1,) * (splits.ndim - 1))
+    return np.sum(splits * factors, axis=0)
+
+
+def split_tensor_ste(w_bar: Tensor, config: BitSplitConfig) -> Tensor:
+    """Differentiable bit-splitting of an integer-valued weight tensor.
+
+    Forward: exact :func:`split_signed` of ``w_bar``'s data, producing a
+    tensor of shape ``(n_splits,) + w_bar.shape``.
+
+    Backward: the slicing is piecewise constant, so a straight-through
+    surrogate is used.  The gradient flowing into slice ``j`` is mapped back
+    to ``w_bar`` scaled by ``2**(-j*cell_bits) / n_splits``; summed over
+    slices this preserves the gradient magnitude of the reconstructed weight
+    (because ``sum_j 2**(j c) * 2**(-j c) / n == 1``), mirroring the paper's
+    weight-duplication trick where every bit-split processes (and
+    back-propagates into) a copy of the same underlying weight.
+    """
+    data = split_signed(w_bar.data, config)
+    n = config.n_splits
+    cell = config.cell_bits
+
+    def backward(grad):
+        if not w_bar.requires_grad:
+            return
+        grad = np.asarray(grad)
+        total = np.zeros_like(w_bar.data)
+        for j in range(n):
+            total = total + grad[j] * (2.0 ** (-j * cell)) / n
+        w_bar._accumulate(total)
+
+    return Tensor._make(data, (w_bar,), backward)

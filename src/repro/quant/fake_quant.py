@@ -1,0 +1,89 @@
+"""Uniform fake-quantization primitives.
+
+These are the plain (non-learnable) quantize / dequantize operations used by
+post-training quantization baselines (Kim [5], Bai [6, 7]) and by the
+analysis utilities.  The learnable counterpart lives in :mod:`repro.quant.lsq`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["QuantRange", "quant_range", "fake_quantize", "fake_quantize_tensor",
+           "quantize_to_int", "dequantize_from_int", "quantization_error"]
+
+
+@dataclass(frozen=True)
+class QuantRange:
+    """Integer range of a uniform quantizer."""
+
+    qmin: int
+    qmax: int
+
+    @property
+    def n_levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    def clamp(self, values: np.ndarray) -> np.ndarray:
+        return np.clip(values, self.qmin, self.qmax)
+
+
+def quant_range(bits: int, signed: bool = True) -> QuantRange:
+    """Return the integer range of a ``bits``-wide uniform quantizer.
+
+    Signed quantizers use the symmetric range ``[-2**(b-1), 2**(b-1)-1]``
+    (binary, ``bits == 1``, degenerates to ``{-1, 0, 1}`` clipping at
+    ``[-1, 1]`` which matches the ternary-free "binary partial sum" setting
+    used for the CIFAR-10 experiment); unsigned use ``[0, 2**b - 1]``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if signed:
+        if bits == 1:
+            return QuantRange(-1, 1)
+        return QuantRange(-(2 ** (bits - 1)), 2 ** (bits - 1) - 1)
+    return QuantRange(0, 2 ** bits - 1)
+
+
+def quantize_to_int(values: np.ndarray, scale: np.ndarray, bits: int,
+                    signed: bool = True) -> np.ndarray:
+    """Quantize ``values`` to integers: ``round(clamp(values / scale))``."""
+    rng = quant_range(bits, signed)
+    scaled = values / scale
+    return rng.clamp(np.round(scaled))
+
+
+def dequantize_from_int(int_values: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return int_values * scale
+
+
+def fake_quantize(values: np.ndarray, scale: np.ndarray, bits: int,
+                  signed: bool = True) -> np.ndarray:
+    """Quantize then dequantize (NumPy arrays, no gradients)."""
+    return dequantize_from_int(quantize_to_int(values, scale, bits, signed), scale)
+
+
+def fake_quantize_tensor(x: Tensor, scale: Union[Tensor, np.ndarray, float], bits: int,
+                         signed: bool = True) -> Tensor:
+    """Differentiable fake quantization with a *fixed* (non-learnable) scale.
+
+    Uses the straight-through estimator for the rounding; the scale is treated
+    as a constant, which is the PTQ setting of the baselines.
+    """
+    rng = quant_range(bits, signed)
+    scale_t = scale if isinstance(scale, Tensor) else Tensor(np.asarray(scale, dtype=np.float64))
+    scaled = x / scale_t
+    clipped = scaled.clamp(float(rng.qmin), float(rng.qmax))
+    return clipped.round_ste() * scale_t
+
+
+def quantization_error(values: np.ndarray, scale: np.ndarray, bits: int,
+                       signed: bool = True) -> float:
+    """Mean-squared quantization error of ``values`` under the given scale."""
+    return float(np.mean((values - fake_quantize(values, scale, bits, signed)) ** 2))

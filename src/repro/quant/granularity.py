@@ -1,0 +1,116 @@
+"""Quantization granularity model.
+
+The paper compares three granularities for both weights and partial sums
+(Fig. 1): *layer-wise* (one scale factor per layer), *array-wise* (one per
+crossbar array) and *column-wise* (one per crossbar column).  This module
+defines the :class:`Granularity` enum and the helpers that translate a
+granularity into the broadcastable shape of its scale-factor tensor for the
+tiled weight / partial-sum layouts used by :mod:`repro.core`.
+
+Tiled layouts
+-------------
+* tiled weights: ``(n_arrays, rows_per_array, out_channels)``
+* partial sums:  ``(n_splits, n_arrays, batch, L, out_channels)``
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["Granularity", "weight_scale_shape", "psum_scale_shape",
+           "weight_group_size", "psum_group_size"]
+
+
+class Granularity(str, Enum):
+    """Scale-factor sharing granularity for weights or partial sums."""
+
+    LAYER = "layer"
+    ARRAY = "array"
+    COLUMN = "column"
+
+    @classmethod
+    def parse(cls, value) -> "Granularity":
+        """Accept a :class:`Granularity`, or a case-insensitive string."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError as exc:
+                raise ValueError(
+                    f"unknown granularity {value!r}; expected one of "
+                    f"{[g.value for g in cls]}") from exc
+        raise TypeError(f"cannot interpret {value!r} as a Granularity")
+
+    @property
+    def is_finer_than_layer(self) -> bool:
+        return self is not Granularity.LAYER
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_ORDER = {Granularity.LAYER: 0, Granularity.ARRAY: 1, Granularity.COLUMN: 2}
+
+
+def finer(a: Granularity, b: Granularity) -> Granularity:
+    """Return the finer of two granularities."""
+    return a if _ORDER[a] >= _ORDER[b] else b
+
+
+def weight_scale_shape(granularity: Granularity, n_arrays: int,
+                       out_channels: int) -> Tuple[int, int, int]:
+    """Scale shape broadcastable over tiled weights ``(A, R, OC)``.
+
+    Column-wise weight quantization assigns one scale to every crossbar
+    column, i.e. one per ``(array, output channel)`` pair; the rows of a
+    column always share the scale because they feed the same ADC column.
+    """
+    granularity = Granularity.parse(granularity)
+    if granularity is Granularity.LAYER:
+        return (1, 1, 1)
+    if granularity is Granularity.ARRAY:
+        return (n_arrays, 1, 1)
+    return (n_arrays, 1, out_channels)
+
+
+def psum_scale_shape(granularity: Granularity, n_splits: int, n_arrays: int,
+                     out_channels: int) -> Tuple[int, int, int, int, int]:
+    """Scale shape broadcastable over partial sums ``(S, A, N, L, OC)``.
+
+    * layer  — a single scale for every partial sum of the layer;
+    * array  — one scale per (bit-split, array);
+    * column — one scale per (bit-split, array, output channel), i.e. per
+      physical ADC column, which is the paper's proposal.
+    """
+    granularity = Granularity.parse(granularity)
+    if granularity is Granularity.LAYER:
+        return (1, 1, 1, 1, 1)
+    if granularity is Granularity.ARRAY:
+        return (n_splits, n_arrays, 1, 1, 1)
+    return (n_splits, n_arrays, 1, 1, out_channels)
+
+
+def weight_group_size(granularity: Granularity, n_arrays: int, rows_per_array: int,
+                      out_channels: int) -> int:
+    """Number of weight elements sharing one scale factor."""
+    granularity = Granularity.parse(granularity)
+    total = n_arrays * rows_per_array * out_channels
+    if granularity is Granularity.LAYER:
+        return total
+    if granularity is Granularity.ARRAY:
+        return rows_per_array * out_channels
+    return rows_per_array
+
+
+def psum_group_size(granularity: Granularity, n_splits: int, n_arrays: int,
+                    out_channels: int, samples: int) -> int:
+    """Number of partial-sum elements sharing one scale factor for a batch."""
+    granularity = Granularity.parse(granularity)
+    total = n_splits * n_arrays * out_channels * samples
+    if granularity is Granularity.LAYER:
+        return total
+    if granularity is Granularity.ARRAY:
+        return out_channels * samples
+    return samples

@@ -1,0 +1,185 @@
+"""Learned Step-size Quantization (LSQ) extended to arbitrary granularities.
+
+The paper trains scale factors for weights, activations and partial sums with
+LSQ [Esser et al., ICLR 2020] and extends it "to support scale factors at
+varying granularities, including column-wise quantization" (Sec. III-A).
+
+The implementation follows the LSQ recipe:
+
+* fake quantization ``x_hat = round(clamp(x / s, Qn, Qp)) * s`` with a
+  straight-through estimator for the rounding,
+* the gradient w.r.t. ``s`` follows automatically from the composite above
+  (``round(x/s) - x/s`` inside the range, ``Qn`` / ``Qp`` outside), which is
+  exactly the LSQ update rule,
+* the scale gradient is rescaled by ``g = 1 / sqrt(N_group * Qp)`` where
+  ``N_group`` is the number of elements sharing that scale, so that coarse and
+  fine granularities train equally stably,
+* scales are initialised from the first observed batch as
+  ``2 * mean(|x|) / sqrt(Qp)`` computed per group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Parameter, Tensor
+from .fake_quant import QuantRange, quant_range
+
+__all__ = ["LSQQuantizer", "lsq_quantize", "lsq_init_scale"]
+
+
+def lsq_init_scale(values: np.ndarray, qmax: int, group_shape: Tuple[int, ...],
+                   minimum: float = 1e-8,
+                   valid_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """LSQ scale initialisation ``2 * E[|x|] / sqrt(Qp)`` computed per group.
+
+    ``group_shape`` must be broadcastable to ``values.shape``; the mean is
+    taken over every axis in which ``group_shape`` is 1.  ``valid_mask``
+    (same shape as ``values``, or broadcastable) restricts the statistic to
+    real elements — the CIM layers use it to exclude the zero rows added when
+    padding a weight tile to the full array height, which would otherwise
+    bias the scale low.
+    """
+    if len(group_shape) != values.ndim:
+        raise ValueError("group_shape must have the same rank as values")
+    axes = tuple(i for i, dim in enumerate(group_shape) if dim == 1)
+    if valid_mask is None:
+        mean_abs = np.mean(np.abs(values), axis=axes, keepdims=True)
+    else:
+        mask = np.broadcast_to(np.asarray(valid_mask, dtype=np.float64), values.shape)
+        counts = np.maximum(mask.sum(axis=axes, keepdims=True), 1.0)
+        mean_abs = (np.abs(values) * mask).sum(axis=axes, keepdims=True) / counts
+    scale = 2.0 * mean_abs / math.sqrt(max(qmax, 1))
+    return np.maximum(scale, minimum).reshape(group_shape)
+
+
+def lsq_quantize(x: Tensor, scale: Tensor, qrange: QuantRange,
+                 grad_scale: float) -> Tensor:
+    """Functional LSQ fake quantization (differentiable in ``x`` and ``scale``)."""
+    s = scale.scale_grad(grad_scale)
+    scaled = x / s
+    clipped = scaled.clamp(float(qrange.qmin), float(qrange.qmax))
+    return clipped.round_ste() * s
+
+
+class LSQQuantizer(Module):
+    """LSQ quantizer with per-group learnable scales.
+
+    Parameters
+    ----------
+    bits:
+        Quantizer precision.
+    signed:
+        ``True`` for symmetric signed ranges (weights, partial sums),
+        ``False`` for unsigned ranges (post-ReLU activations).
+    scale_shape:
+        Shape of the learnable scale tensor.  Must be broadcastable to the
+        input of :meth:`forward`.  ``(1,) * ndim`` gives layer-wise
+        quantization; finer shapes give array- or column-wise quantization.
+    grad_scale_override:
+        Optional fixed gradient-scaling factor; by default it is computed
+        from the group size of the first observed input.
+    """
+
+    def __init__(self, bits: int, signed: bool = True,
+                 scale_shape: Union[int, Sequence[int]] = (1,),
+                 grad_scale_override: Optional[float] = None):
+        super().__init__()
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = int(bits)
+        self.signed = bool(signed)
+        self.qrange = quant_range(bits, signed)
+        if isinstance(scale_shape, int):
+            scale_shape = (scale_shape,)
+        self.scale_shape = tuple(int(d) for d in scale_shape)
+        self.scale = Parameter(np.ones(self.scale_shape), name="lsq_scale")
+        self.grad_scale_override = grad_scale_override
+        self.register_buffer("initialized", np.zeros(1))
+        self._grad_scale: Optional[float] = grad_scale_override
+
+    # ------------------------------------------------------------------ #
+    @property
+    def qmin(self) -> int:
+        return self.qrange.qmin
+
+    @property
+    def qmax(self) -> int:
+        return self.qrange.qmax
+
+    @property
+    def num_groups(self) -> int:
+        return int(np.prod(self.scale_shape))
+
+    def is_initialized(self) -> bool:
+        return bool(self.initialized[0] > 0)
+
+    # ------------------------------------------------------------------ #
+    def initialize_from(self, values: np.ndarray,
+                        valid_mask: Optional[np.ndarray] = None) -> None:
+        """Initialise scales from a batch of data (LSQ init rule).
+
+        ``valid_mask`` optionally marks which elements are real data (see
+        :func:`lsq_init_scale`).
+        """
+        group_shape = self._broadcast_group_shape(values.shape)
+        init = lsq_init_scale(values, self.qmax, group_shape, valid_mask=valid_mask)
+        self.scale.data = init.reshape(self.scale_shape).astype(np.float64)
+        group_size = values.size / max(self.num_groups, 1)
+        if self.grad_scale_override is None:
+            self._grad_scale = 1.0 / math.sqrt(max(group_size * max(self.qmax, 1), 1.0))
+        self.initialized[...] = 1.0
+
+    def _broadcast_group_shape(self, data_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Expand ``self.scale_shape`` to the rank of ``data_shape``."""
+        if len(self.scale_shape) == data_shape.__len__():
+            return self.scale_shape
+        if len(self.scale_shape) < len(data_shape):
+            # pad with leading singleton dims, matching NumPy broadcasting
+            return (1,) * (len(data_shape) - len(self.scale_shape)) + self.scale_shape
+        raise ValueError(
+            f"scale shape {self.scale_shape} has higher rank than data {data_shape}")
+
+    def grad_scale_for(self, x: Tensor) -> float:
+        if self._grad_scale is not None:
+            return self._grad_scale
+        group_size = x.size / max(self.num_groups, 1)
+        return 1.0 / math.sqrt(max(group_size * max(self.qmax, 1), 1.0))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        """Return the fake-quantized version of ``x``."""
+        if not self.is_initialized():
+            self.initialize_from(x.data)
+        return lsq_quantize(x, self.scale, self.qrange, self.grad_scale_for(x))
+
+    def quantize_int(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(integer codes, scale)`` with gradients attached.
+
+        The integer tensor is ``round(clamp(x / s))`` and is what gets
+        programmed into memory cells (weights) or produced by the ADC
+        (partial sums); callers multiply by the returned scale to dequantize.
+        """
+        if not self.is_initialized():
+            self.initialize_from(x.data)
+        s = self.scale.scale_grad(self.grad_scale_for(x))
+        scaled = x / s
+        clipped = scaled.clamp(float(self.qmin), float(self.qmax))
+        return clipped.round_ste(), s
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """MSE between ``values`` and their fake-quantized reconstruction."""
+        if not self.is_initialized():
+            self.initialize_from(values)
+        scale = np.broadcast_to(self.scale.data.reshape(
+            self._broadcast_group_shape(values.shape)), values.shape)
+        q = np.clip(np.round(values / scale), self.qmin, self.qmax) * scale
+        return float(np.mean((values - q) ** 2))
+
+    def extra_repr(self) -> str:
+        return (f"bits={self.bits}, signed={self.signed}, "
+                f"groups={self.num_groups}, scale_shape={self.scale_shape}")

@@ -1,0 +1,138 @@
+"""Calibration observers for post-training quantization (PTQ).
+
+The PTQ baselines of the paper (Kim [5], Bai [6, 7]) do not learn their scale
+factors; they derive them from the statistics of weights / partial sums
+observed on a calibration set.  Observers accumulate those statistics per
+quantization group and convert them into scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .fake_quant import quant_range
+
+__all__ = ["Observer", "MinMaxObserver", "PercentileObserver", "MeanAbsObserver"]
+
+
+class Observer:
+    """Base class accumulating per-group statistics of observed arrays.
+
+    ``group_shape`` must be broadcastable to every observed array; statistics
+    are reduced over the axes where ``group_shape`` is 1.
+    """
+
+    def __init__(self, bits: int, signed: bool = True,
+                 group_shape: Tuple[int, ...] = (1,)):
+        self.bits = bits
+        self.signed = signed
+        self.qrange = quant_range(bits, signed)
+        self.group_shape = tuple(group_shape)
+        self.num_observed = 0
+
+    def _reduce_axes(self, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        group = self.group_shape
+        if len(group) < len(shape):
+            group = (1,) * (len(shape) - len(group)) + group
+        if len(group) != len(shape):
+            raise ValueError(f"group shape {self.group_shape} incompatible with {shape}")
+        return tuple(i for i, dim in enumerate(group) if dim == 1)
+
+    def observe(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def compute_scale(self, minimum: float = 1e-8) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MinMaxObserver(Observer):
+    """Scale from the running min / max of the observed values."""
+
+    def __init__(self, bits: int, signed: bool = True,
+                 group_shape: Tuple[int, ...] = (1,)):
+        super().__init__(bits, signed, group_shape)
+        self.max_val: Optional[np.ndarray] = None
+        self.min_val: Optional[np.ndarray] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        axes = self._reduce_axes(values.shape)
+        cur_max = values.max(axis=axes, keepdims=True)
+        cur_min = values.min(axis=axes, keepdims=True)
+        if self.max_val is None:
+            self.max_val, self.min_val = cur_max, cur_min
+        else:
+            self.max_val = np.maximum(self.max_val, cur_max)
+            self.min_val = np.minimum(self.min_val, cur_min)
+        self.num_observed += values.size
+
+    def compute_scale(self, minimum: float = 1e-8) -> np.ndarray:
+        if self.max_val is None:
+            raise RuntimeError("observer has not seen any data")
+        if self.signed:
+            bound = np.maximum(np.abs(self.max_val), np.abs(self.min_val))
+            scale = bound / max(self.qrange.qmax, 1)
+        else:
+            scale = self.max_val / max(self.qrange.qmax, 1)
+        return np.maximum(scale, minimum).reshape(self.group_shape)
+
+
+class PercentileObserver(Observer):
+    """Scale from a high percentile of ``|x|``, clipping outliers.
+
+    Keeping a fixed-size reservoir of absolute values per call keeps memory
+    bounded while still approximating the percentile over the calibration set.
+    """
+
+    def __init__(self, bits: int, signed: bool = True,
+                 group_shape: Tuple[int, ...] = (1,), percentile: float = 99.9):
+        super().__init__(bits, signed, group_shape)
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = percentile
+        self.bound: Optional[np.ndarray] = None
+
+    def observe(self, values: np.ndarray) -> None:
+        axes = self._reduce_axes(values.shape)
+        cur = np.percentile(np.abs(values), self.percentile, axis=axes, keepdims=True)
+        if self.bound is None:
+            self.bound = cur
+        else:
+            # running max of per-batch percentiles: conservative but stable
+            self.bound = np.maximum(self.bound, cur)
+        self.num_observed += values.size
+
+    def compute_scale(self, minimum: float = 1e-8) -> np.ndarray:
+        if self.bound is None:
+            raise RuntimeError("observer has not seen any data")
+        scale = self.bound / max(self.qrange.qmax, 1)
+        return np.maximum(scale, minimum).reshape(self.group_shape)
+
+
+class MeanAbsObserver(Observer):
+    """LSQ-style initialisation statistic ``2 * E[|x|] / sqrt(Qp)`` as a scale."""
+
+    def __init__(self, bits: int, signed: bool = True,
+                 group_shape: Tuple[int, ...] = (1,)):
+        super().__init__(bits, signed, group_shape)
+        self.sum_abs: Optional[np.ndarray] = None
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        axes = self._reduce_axes(values.shape)
+        cur = np.sum(np.abs(values), axis=axes, keepdims=True)
+        if self.sum_abs is None:
+            self.sum_abs = cur
+        else:
+            self.sum_abs = self.sum_abs + cur
+        group_count = values.size / max(int(np.prod(self.group_shape)), 1)
+        self.count += group_count
+        self.num_observed += values.size
+
+    def compute_scale(self, minimum: float = 1e-8) -> np.ndarray:
+        if self.sum_abs is None or self.count == 0:
+            raise RuntimeError("observer has not seen any data")
+        mean_abs = self.sum_abs / self.count
+        scale = 2.0 * mean_abs / np.sqrt(max(self.qrange.qmax, 1))
+        return np.maximum(scale, minimum).reshape(self.group_shape)

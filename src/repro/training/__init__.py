@@ -1,0 +1,18 @@
+"""``repro.training`` — QAT / PTQ training pipelines and experiment configs."""
+
+from .configs import (PAPER_EXPERIMENTS, ExperimentConfig, available_experiments,
+                      paper_experiment, reduced_experiment)
+from .metrics import (Stopwatch, TrainingHistory, evaluate, top1_accuracy,
+                      topk_accuracy)
+from .ptq import PTQConfig, calibrate_model, ptq_quantize
+from .trainer import QATTrainer, TrainerConfig, train_model
+from .two_stage import TwoStageConfig, TwoStageQATTrainer, train_two_stage
+
+__all__ = [
+    "QATTrainer", "TrainerConfig", "train_model",
+    "TwoStageQATTrainer", "TwoStageConfig", "train_two_stage",
+    "PTQConfig", "calibrate_model", "ptq_quantize",
+    "evaluate", "top1_accuracy", "topk_accuracy", "TrainingHistory", "Stopwatch",
+    "ExperimentConfig", "PAPER_EXPERIMENTS", "paper_experiment", "reduced_experiment",
+    "available_experiments",
+]

@@ -1,0 +1,159 @@
+"""Experiment configurations (Table II of the paper) and their reduced variants.
+
+Table II defines three benchmarks:
+
+====================  ==========  ===========  ==========
+Setting               CIFAR-10    CIFAR-100    ImageNet
+====================  ==========  ===========  ==========
+Model                 ResNet-20   ResNet-20    ResNet-18
+Activation bits       3           4            3
+Weight bits           3 (1b/cell) 4 (2b/cell)  3 (3b/cell)
+Partial-sum bits      1 (binary)  3            2
+Array size            128x128     128x128      256x256
+Training              200 epochs  200 epochs   90 epochs
+====================  ==========  ===========  ==========
+
+``paper_experiment`` returns those full-scale configurations;
+``reduced_experiment`` returns the CPU-scale counterparts used by the
+benchmark harness (same bit widths, granularities, array geometry and
+training *structure*, but a smaller model / dataset / epoch budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..cim.config import CIMConfig, QuantScheme
+from .trainer import TrainerConfig
+
+__all__ = ["ExperimentConfig", "PAPER_EXPERIMENTS", "paper_experiment",
+           "reduced_experiment", "available_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one of the paper's benchmarks."""
+
+    name: str
+    dataset: str                  # "cifar10" | "cifar100" | "imagenet"
+    model: str                    # key of repro.models.MODEL_REGISTRY
+    num_classes: int
+    weight_bits: int
+    act_bits: int
+    psum_bits: int
+    cell_bits: int
+    array_size: int
+    epochs: int
+    image_size: int
+    width_multiplier: float = 1.0
+    train_samples: int = 2048
+    test_samples: int = 512
+    batch_size: int = 64
+    lr: float = 0.05
+
+    # ------------------------------------------------------------------ #
+    def cim_config(self, tiling: str = "kernel_preserving") -> CIMConfig:
+        return CIMConfig(array_rows=self.array_size, array_cols=self.array_size,
+                         cell_bits=self.cell_bits, adc_bits=self.psum_bits,
+                         dac_bits=self.act_bits, tiling=tiling)
+
+    def scheme(self, weight_granularity="column", psum_granularity="column",
+               quantize_psum: bool = True, **overrides) -> QuantScheme:
+        return QuantScheme(
+            name=f"{self.name}:{weight_granularity}/{psum_granularity}",
+            weight_bits=self.weight_bits, act_bits=self.act_bits,
+            psum_bits=self.psum_bits,
+            weight_granularity=weight_granularity, psum_granularity=psum_granularity,
+            quantize_psum=quantize_psum, **overrides)
+
+    def trainer_config(self, **overrides) -> TrainerConfig:
+        cfg = TrainerConfig(epochs=self.epochs, lr=self.lr)
+        for key, value in overrides.items():
+            setattr(cfg, key, value)
+        return cfg
+
+    def reduced(self, *, image_size: Optional[int] = None, epochs: Optional[int] = None,
+                width_multiplier: Optional[float] = None, model: Optional[str] = None,
+                train_samples: Optional[int] = None, test_samples: Optional[int] = None,
+                array_size: Optional[int] = None, batch_size: Optional[int] = None,
+                num_classes: Optional[int] = None) -> "ExperimentConfig":
+        """Return a scaled-down copy for CPU execution."""
+        return replace(
+            self,
+            name=self.name + "-reduced",
+            image_size=image_size if image_size is not None else self.image_size,
+            epochs=epochs if epochs is not None else self.epochs,
+            width_multiplier=width_multiplier if width_multiplier is not None else self.width_multiplier,
+            model=model if model is not None else self.model,
+            train_samples=train_samples if train_samples is not None else self.train_samples,
+            test_samples=test_samples if test_samples is not None else self.test_samples,
+            array_size=array_size if array_size is not None else self.array_size,
+            batch_size=batch_size if batch_size is not None else self.batch_size,
+            num_classes=num_classes if num_classes is not None else self.num_classes,
+        )
+
+
+#: Table II, full scale.
+PAPER_EXPERIMENTS: Dict[str, ExperimentConfig] = {
+    "cifar10": ExperimentConfig(
+        name="cifar10", dataset="cifar10", model="resnet20", num_classes=10,
+        weight_bits=3, act_bits=3, psum_bits=1, cell_bits=1, array_size=128,
+        epochs=200, image_size=32, train_samples=50000, test_samples=10000,
+        batch_size=128, lr=0.1),
+    "cifar100": ExperimentConfig(
+        name="cifar100", dataset="cifar100", model="resnet20", num_classes=100,
+        weight_bits=4, act_bits=4, psum_bits=3, cell_bits=2, array_size=128,
+        epochs=200, image_size=32, train_samples=50000, test_samples=10000,
+        batch_size=128, lr=0.1),
+    "imagenet": ExperimentConfig(
+        name="imagenet", dataset="imagenet", model="resnet18", num_classes=1000,
+        weight_bits=3, act_bits=3, psum_bits=2, cell_bits=3, array_size=256,
+        epochs=90, image_size=224, train_samples=1_281_167, test_samples=50_000,
+        batch_size=256, lr=0.1),
+}
+
+
+def paper_experiment(name: str) -> ExperimentConfig:
+    """Full-scale experiment configuration from Table II."""
+    if name not in PAPER_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(PAPER_EXPERIMENTS)}")
+    return PAPER_EXPERIMENTS[name]
+
+
+def reduced_experiment(name: str, *, tiny: bool = False) -> ExperimentConfig:
+    """CPU-scale counterpart of a Table II experiment.
+
+    ``tiny=True`` shrinks further (used by the test-suite); otherwise the
+    defaults are sized so that a full scheme comparison completes on a few
+    CPU cores in minutes.
+    """
+    base = paper_experiment(name)
+    if name == "cifar10":
+        reduced = base.reduced(image_size=12 if tiny else 16, epochs=2 if tiny else 6,
+                               model="resnet8", width_multiplier=0.5,
+                               train_samples=96 if tiny else 512,
+                               test_samples=48 if tiny else 256,
+                               array_size=32 if tiny else 64,
+                               batch_size=16 if tiny else 32)
+    elif name == "cifar100":
+        reduced = base.reduced(image_size=12 if tiny else 16, epochs=2 if tiny else 6,
+                               model="resnet8", width_multiplier=0.5,
+                               train_samples=96 if tiny else 768,
+                               test_samples=48 if tiny else 256,
+                               array_size=32 if tiny else 64,
+                               num_classes=10 if tiny else 20,
+                               batch_size=16 if tiny else 32)
+    else:  # imagenet
+        reduced = base.reduced(image_size=16 if tiny else 24, epochs=2 if tiny else 5,
+                               model="resnet8", width_multiplier=0.5,
+                               train_samples=96 if tiny else 768,
+                               test_samples=48 if tiny else 256,
+                               array_size=64 if tiny else 128,
+                               num_classes=10 if tiny else 20,
+                               batch_size=16 if tiny else 32)
+    return reduced
+
+
+def available_experiments() -> list:
+    return sorted(PAPER_EXPERIMENTS)

@@ -1,0 +1,108 @@
+"""Accuracy and timing metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["top1_accuracy", "topk_accuracy", "evaluate", "TrainingHistory", "Stopwatch"]
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose arg-max prediction matches the label."""
+    predictions = np.argmax(logits, axis=-1)
+    return float(np.mean(predictions == labels))
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is within the top-``k`` predictions."""
+    k = min(k, logits.shape[-1])
+    topk = np.argsort(-logits, axis=-1)[:, :k]
+    return float(np.mean(np.any(topk == labels[:, None], axis=-1)))
+
+
+def evaluate(model: Module, loader: DataLoader, k: int = 5) -> Dict[str, float]:
+    """Evaluate ``model`` on ``loader``; returns top-1 / top-k accuracy and loss-free stats."""
+    model.eval()
+    correct1 = correctk = total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images)).data
+            predictions = np.argmax(logits, axis=-1)
+            correct1 += int(np.sum(predictions == labels))
+            kk = min(k, logits.shape[-1])
+            topk = np.argsort(-logits, axis=-1)[:, :kk]
+            correctk += int(np.sum(np.any(topk == labels[:, None], axis=-1)))
+            total += labels.shape[0]
+    model.train()
+    if total == 0:
+        return {"top1": 0.0, "topk": 0.0, "samples": 0}
+    return {"top1": correct1 / total, "topk": correctk / total, "samples": total}
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    stage_boundaries: List[int] = field(default_factory=list)
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def epochs_to_reach(self, accuracy: float) -> Optional[int]:
+        """First epoch (1-based) whose test accuracy reaches ``accuracy``, or None."""
+        for index, value in enumerate(self.test_accuracy):
+            if value >= accuracy:
+                return index + 1
+        return None
+
+    def mark_stage_boundary(self) -> None:
+        """Record that a new training stage starts after the current epoch."""
+        self.stage_boundaries.append(self.epochs)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "epochs": self.epochs,
+            "best_test_accuracy": self.best_test_accuracy,
+            "final_test_accuracy": self.final_test_accuracy,
+            "total_seconds": self.total_seconds,
+        }
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time in seconds."""
+
+    def __init__(self):
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -1,0 +1,161 @@
+"""Post-training quantization pipeline (baselines Kim [5] and Bai [6, 7]).
+
+PTQ starts from a pretrained full-precision model, replaces its layers with
+CIM layers (:func:`repro.core.convert.convert_to_cim`), then calibrates the
+weight / activation / partial-sum scale factors from statistics collected on
+a calibration set — no gradient-based adaptation of the network weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cim.config import CIMConfig, QuantScheme
+from ..core.cim_conv import CIMConv2d
+from ..core.cim_linear import CIMLinear
+from ..core.convert import cim_layers, convert_to_cim
+from ..data.loaders import DataLoader
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..quant.lsq import lsq_init_scale
+from ..quant.observers import MinMaxObserver, Observer, PercentileObserver
+
+__all__ = ["PTQConfig", "calibrate_model", "ptq_quantize"]
+
+
+@dataclass
+class PTQConfig:
+    """Calibration settings for post-training quantization."""
+
+    calibration_batches: int = 4
+    observer: str = "minmax"          # "minmax" or "percentile"
+    percentile: float = 99.9
+
+    def make_observer(self, bits: int, signed: bool, group_shape) -> Observer:
+        if self.observer == "percentile":
+            return PercentileObserver(bits, signed, group_shape, percentile=self.percentile)
+        if self.observer == "minmax":
+            return MinMaxObserver(bits, signed, group_shape)
+        raise ValueError(f"unknown observer {self.observer!r}")
+
+
+def _calibrate_weight_scales(layer) -> None:
+    """Set weight scales from the (fixed) pretrained weights."""
+    tiled = layer._tiled_weight().data
+    group_shape = layer.weight_quant._broadcast_group_shape(tiled.shape)
+    scale = lsq_init_scale(tiled, layer.weight_quant.qmax, group_shape,
+                           valid_mask=layer._valid_rows_mask())
+    layer.weight_quant.scale.data = scale.reshape(layer.weight_quant.scale_shape)
+    layer.weight_quant.initialized[...] = 1.0
+    layer.weight_quant.scale.requires_grad = False
+
+
+def calibrate_model(model: Module, loader: DataLoader, config: Optional[PTQConfig] = None) -> Dict[str, Dict[str, float]]:
+    """Calibrate every CIM layer of ``model`` on a few batches of ``loader``.
+
+    Weight scales come from the weight statistics; activation and partial-sum
+    scales come from observers fed by forward passes over the calibration
+    batches.  Returns a per-layer report of the resulting scale magnitudes.
+    """
+    config = config or PTQConfig()
+    layers = dict(cim_layers(model))
+
+    # weight scales are data-independent
+    for layer in layers.values():
+        _calibrate_weight_scales(layer)
+
+    from ..core.convert import attach_recorders, set_psum_quant_enabled
+    from ..core.psum import PartialSumRecorder
+
+    def run_calibration_batches() -> None:
+        model.eval()
+        with no_grad():
+            for index, (images, _labels) in enumerate(loader):
+                if index >= config.calibration_batches:
+                    break
+                model(Tensor(images))
+        model.train()
+
+    # ---- pass 1: observe layer inputs and fix the activation scales -------
+    # The activation scales must be final before the partial sums are
+    # recorded, otherwise the partial-sum scales would be calibrated against
+    # integer activations computed with a different (provisional) scale.
+    act_observers: Dict[str, Observer] = {}
+    originals = {}
+    for name, layer in layers.items():
+        if layer.act_quant is not None:
+            act_observers[name] = config.make_observer(
+                layer.act_quant.bits, False, layer.act_quant.scale_shape)
+
+        # capture layer inputs through lightweight monkey-patched forwards
+        def make_hook(layer_name, original_forward, layer_ref):
+            def hooked(x):
+                if layer_ref.act_quant is not None:
+                    act_observers[layer_name].observe(np.maximum(x.data, 0.0))
+                return original_forward(x)
+            return hooked
+
+        originals[name] = layer.forward
+        layer.forward = make_hook(name, layer.forward, layer)
+
+    set_psum_quant_enabled(model, False)
+    run_calibration_batches()
+
+    for name, layer in layers.items():
+        layer.forward = originals[name]
+        if layer.act_quant is not None and act_observers[name].num_observed:
+            scale = act_observers[name].compute_scale()
+            layer.act_quant.scale.data = scale.reshape(layer.act_quant.scale_shape)
+            layer.act_quant.initialized[...] = 1.0
+            layer.act_quant.scale.requires_grad = False
+
+    # ---- pass 2: record unquantized partial sums under the final scales ---
+    recorder = PartialSumRecorder(samples_per_column=2048)
+    attach_recorders(model, recorder)
+    run_calibration_batches()
+    for name, layer in layers.items():
+        layer.attach_recorder(None)
+
+    report: Dict[str, Dict[str, float]] = {}
+    for name, layer in layers.items():
+        # partial-sum scales from the recorded (per-column) partial sums
+        recorded = recorder.column_values(name) if name in recorder.layers() else []
+        if recorded:
+            n_splits = layer.n_splits
+            n_arrays = layer.n_arrays
+            oc = layer.out_features if isinstance(layer, CIMLinear) else layer.out_channels
+            maxima = np.array([np.max(np.abs(col)) if col.size else 1.0 for col in recorded])
+            maxima = maxima.reshape(n_splits, n_arrays, oc)
+            qmax = max(layer.psum_quant.qmax, 1)
+            per_column = np.maximum(maxima / qmax, 1e-8)
+            shape = layer.psum_quant.scale_shape
+            # reduce to the scheme's granularity (max over grouped axes)
+            target = per_column.reshape(n_splits, n_arrays, 1, oc) if len(shape) == 4 \
+                else per_column.reshape(n_splits, n_arrays, 1, 1, oc)
+            ones_axes = tuple(i for i, d in enumerate(shape) if d == 1)
+            reduced = target.max(axis=ones_axes, keepdims=True) if ones_axes else target
+            layer.psum_quant.scale.data = np.broadcast_to(reduced, shape).copy()
+            layer.psum_quant.initialized[...] = 1.0
+            layer.psum_quant.scale.requires_grad = False
+
+        report[name] = {
+            "weight_scale_mean": float(np.mean(layer.weight_quant.scale.data)),
+            "act_scale_mean": float(np.mean(layer.act_quant.scale.data))
+            if layer.act_quant is not None else float("nan"),
+            "psum_scale_mean": float(np.mean(layer.psum_quant.scale.data)),
+        }
+
+    # re-enable partial-sum quantization per the scheme
+    set_psum_quant_enabled(model, True)
+    return report
+
+
+def ptq_quantize(fp_model: Module, scheme: QuantScheme, cim_config: CIMConfig,
+                 calibration: DataLoader, config: Optional[PTQConfig] = None) -> Module:
+    """Full PTQ pipeline: convert a pretrained FP model and calibrate it."""
+    model = convert_to_cim(fp_model, scheme, cim_config)
+    calibrate_model(model, calibration, config)
+    return model

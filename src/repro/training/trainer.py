@@ -1,0 +1,140 @@
+"""One-stage quantization-aware training (the paper's training recipe).
+
+The paper trains weight, activation and partial-sum LSQ scale factors jointly
+from scratch in a single stage (Sec. III-D).  :class:`QATTrainer` implements
+that loop on top of the :mod:`repro.nn` substrate: SGD with momentum, cosine
+learning-rate decay, optional separate parameter group for the LSQ scales
+(smaller LR, no weight decay, the standard LSQ recipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.convert import scale_parameters, weight_parameters
+from ..data.loaders import DataLoader
+from ..nn.losses import CrossEntropyLoss
+from ..nn.lr_scheduler import CosineAnnealingLR, LRScheduler
+from ..nn.module import Module
+from ..nn.optim import SGD, Optimizer
+from ..nn.tensor import Tensor
+from .metrics import Stopwatch, TrainingHistory, evaluate
+
+__all__ = ["TrainerConfig", "QATTrainer", "train_model"]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of a QAT run."""
+
+    epochs: int = 10
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    scale_lr_factor: float = 0.1      # LSQ scale factors train with a smaller LR
+    label_smoothing: float = 0.0
+    cosine_schedule: bool = True
+    log_every: int = 0                # 0 disables progress printing
+    seed: int = 0
+
+
+class QATTrainer:
+    """Single-stage QAT trainer.
+
+    Parameters
+    ----------
+    model:
+        A full-precision or CIM-quantized model built from :mod:`repro.nn`.
+    train / test:
+        Data loaders.
+    config:
+        :class:`TrainerConfig` hyper-parameters.
+    epoch_callback:
+        Optional callable invoked as ``callback(trainer, epoch)`` after every
+        epoch; used by the two-stage trainer and the analysis drivers.
+    """
+
+    def __init__(self, model: Module, train: DataLoader, test: DataLoader,
+                 config: Optional[TrainerConfig] = None,
+                 epoch_callback: Optional[Callable[["QATTrainer", int], None]] = None):
+        self.model = model
+        self.train_loader = train
+        self.test_loader = test
+        self.config = config or TrainerConfig()
+        self.epoch_callback = epoch_callback
+        self.history = TrainingHistory()
+        self.criterion = CrossEntropyLoss(label_smoothing=self.config.label_smoothing)
+        self.optimizer = self._build_optimizer()
+        self.scheduler: Optional[LRScheduler] = (
+            CosineAnnealingLR(self.optimizer, t_max=self.config.epochs)
+            if self.config.cosine_schedule else None)
+
+    # ------------------------------------------------------------------ #
+    def _build_optimizer(self) -> Optimizer:
+        weights = weight_parameters(self.model)
+        scales = scale_parameters(self.model)
+        groups = [{"params": weights, "lr": self.config.lr,
+                   "weight_decay": self.config.weight_decay}]
+        if scales:
+            groups.append({"params": scales,
+                           "lr": self.config.lr * self.config.scale_lr_factor,
+                           "weight_decay": 0.0})
+        return SGD(groups, lr=self.config.lr, momentum=self.config.momentum,
+                   weight_decay=self.config.weight_decay)
+
+    # ------------------------------------------------------------------ #
+    def train_epoch(self) -> Dict[str, float]:
+        """Run one epoch over the training loader; returns loss / accuracy."""
+        self.model.train()
+        total_loss = 0.0
+        correct = 0
+        seen = 0
+        for images, labels in self.train_loader:
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(images))
+            loss = self.criterion(logits, labels)
+            loss.backward()
+            self.optimizer.step()
+
+            batch = labels.shape[0]
+            total_loss += loss.item() * batch
+            correct += int(np.sum(np.argmax(logits.data, axis=-1) == labels))
+            seen += batch
+        return {"loss": total_loss / max(seen, 1), "accuracy": correct / max(seen, 1)}
+
+    def fit(self, epochs: Optional[int] = None) -> TrainingHistory:
+        """Train for ``epochs`` (default: the configured number) and return history."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        for epoch in range(epochs):
+            with Stopwatch() as timer:
+                stats = self.train_epoch()
+                test_stats = evaluate(self.model, self.test_loader)
+            lr = self.optimizer.lr
+            if self.scheduler is not None:
+                self.scheduler.step()
+            self.history.train_loss.append(stats["loss"])
+            self.history.train_accuracy.append(stats["accuracy"])
+            self.history.test_accuracy.append(test_stats["top1"])
+            self.history.learning_rate.append(lr)
+            self.history.epoch_seconds.append(timer.seconds)
+            if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
+                print(f"epoch {epoch + 1:3d}/{epochs}: loss {stats['loss']:.4f} "
+                      f"train {stats['accuracy']:.3f} test {test_stats['top1']:.3f} "
+                      f"lr {lr:.4f} ({timer.seconds:.1f}s)")
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, epoch)
+        return self.history
+
+    def evaluate(self) -> Dict[str, float]:
+        return evaluate(self.model, self.test_loader)
+
+
+def train_model(model: Module, train: DataLoader, test: DataLoader,
+                epochs: int = 10, lr: float = 0.05,
+                **config_overrides) -> TrainingHistory:
+    """Convenience wrapper: build a :class:`QATTrainer` and fit it."""
+    config = TrainerConfig(epochs=epochs, lr=lr, **config_overrides)
+    return QATTrainer(model, train, test, config).fit()

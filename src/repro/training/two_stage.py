@@ -1,0 +1,92 @@
+"""Two-stage quantization-aware training (baseline of Saxena [8], [9]).
+
+When weight and partial-sum granularities differ, prior works train in two
+stages: stage 1 performs QAT of weights and activations with *full-precision
+partial sums* (partial-sum quantization disabled); stage 2 enables partial-sum
+quantization and continues training so the network adapts to the ADC error.
+The paper argues (Sec. III-D, Fig. 9) that aligning the granularities makes a
+single stage sufficient and cheaper; this module provides the two-stage
+counterpart so that Fig. 9 can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.convert import set_psum_quant_enabled
+from ..data.loaders import DataLoader
+from ..nn.module import Module
+from .metrics import TrainingHistory
+from .trainer import QATTrainer, TrainerConfig
+
+__all__ = ["TwoStageConfig", "TwoStageQATTrainer", "train_two_stage"]
+
+
+@dataclass
+class TwoStageConfig:
+    """Epoch budget of the two training stages.
+
+    ``stage2_lr_factor`` shrinks the learning rate for the second stage, the
+    usual fine-tuning recipe of the two-stage baselines.
+    """
+
+    stage1_epochs: int = 8
+    stage2_epochs: int = 4
+    stage2_lr_factor: float = 0.1
+
+    @property
+    def total_epochs(self) -> int:
+        return self.stage1_epochs + self.stage2_epochs
+
+
+class TwoStageQATTrainer:
+    """Runs stage-1 QAT (no partial-sum quantization) then stage-2 fine-tuning."""
+
+    def __init__(self, model: Module, train: DataLoader, test: DataLoader,
+                 base_config: Optional[TrainerConfig] = None,
+                 stages: Optional[TwoStageConfig] = None):
+        self.model = model
+        self.train_loader = train
+        self.test_loader = test
+        self.base_config = base_config or TrainerConfig()
+        self.stages = stages or TwoStageConfig()
+        self.history = TrainingHistory()
+
+    def fit(self) -> TrainingHistory:
+        stages = self.stages
+
+        # ---- stage 1: weights/activations QAT, partial sums full precision
+        set_psum_quant_enabled(self.model, False)
+        stage1_cfg = TrainerConfig(**{**self.base_config.__dict__,
+                                      "epochs": stages.stage1_epochs})
+        stage1 = QATTrainer(self.model, self.train_loader, self.test_loader, stage1_cfg)
+        history1 = stage1.fit()
+
+        # ---- stage 2: enable partial-sum quantization, fine-tune
+        set_psum_quant_enabled(self.model, True)
+        stage2_cfg = TrainerConfig(**{**self.base_config.__dict__,
+                                      "epochs": stages.stage2_epochs,
+                                      "lr": self.base_config.lr * stages.stage2_lr_factor})
+        stage2 = QATTrainer(self.model, self.train_loader, self.test_loader, stage2_cfg)
+        history2 = stage2.fit()
+
+        # ---- merge the two stage histories
+        merged = self.history
+        for source in (history1, history2):
+            merged.train_loss.extend(source.train_loss)
+            merged.train_accuracy.extend(source.train_accuracy)
+            merged.test_accuracy.extend(source.test_accuracy)
+            merged.learning_rate.extend(source.learning_rate)
+            merged.epoch_seconds.extend(source.epoch_seconds)
+        merged.stage_boundaries.append(stages.stage1_epochs)
+        return merged
+
+
+def train_two_stage(model: Module, train: DataLoader, test: DataLoader,
+                    stage1_epochs: int = 8, stage2_epochs: int = 4,
+                    **config_overrides) -> TrainingHistory:
+    """Convenience wrapper for the two-stage baseline."""
+    base = TrainerConfig(**config_overrides) if config_overrides else TrainerConfig()
+    stages = TwoStageConfig(stage1_epochs=stage1_epochs, stage2_epochs=stage2_epochs)
+    return TwoStageQATTrainer(model, train, test, base, stages).fit()

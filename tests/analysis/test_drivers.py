@@ -1,0 +1,164 @@
+"""Experiment drivers (tiny-scale smoke + semantics tests)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (build_dataset, build_experiment_model, build_loaders,
+                            compare_psum_distributions, compute_overhead_table,
+                            evaluate_under_variation, format_series, format_table,
+                            markdown_table, relative_cost_to_reach, run_fp_baseline,
+                            run_scheme, run_variation_sweep)
+from repro.analysis.qat_schedules import QATScheduleResult
+from repro.cim import CIMConfig, QuantScheme
+from repro.core import get_scheme
+from repro.models import TinyCNN
+from repro.training import reduced_experiment
+from repro.training.metrics import TrainingHistory
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return reduced_experiment("cifar10", tiny=True)
+
+
+@pytest.fixture(scope="module")
+def tiny_loaders(tiny_cfg):
+    return build_loaders(tiny_cfg, augment=False)
+
+
+class TestCommon:
+    def test_build_dataset_matches_config(self, tiny_cfg):
+        dataset = build_dataset(tiny_cfg)
+        assert dataset.num_classes == tiny_cfg.num_classes
+        assert dataset.train_images.shape[0] == tiny_cfg.train_samples
+        assert dataset.image_shape[-1] == tiny_cfg.image_size
+
+    def test_build_loaders_batch_size(self, tiny_cfg):
+        train, test = build_loaders(tiny_cfg)
+        assert train.batch_size == tiny_cfg.batch_size
+
+    def test_build_experiment_model_fp_and_quant(self, tiny_cfg):
+        fp = build_experiment_model(tiny_cfg, scheme=None)
+        quant = build_experiment_model(tiny_cfg, scheme=tiny_cfg.scheme())
+        assert fp.num_parameters() > 0
+        assert quant.num_parameters() >= fp.num_parameters()  # adds scale parameters
+
+
+class TestSchemeRunners:
+    def test_run_fp_baseline_and_qat_scheme(self, tiny_cfg, tiny_loaders):
+        train, test = tiny_loaders
+        fp_result, fp_model = run_fp_baseline(tiny_cfg, train, test, epochs=1)
+        assert 0.0 <= fp_result.top1 <= 1.0
+        assert fp_result.training == "fp32"
+
+        scheme = tiny_cfg.scheme("column", "column")
+        result = run_scheme(tiny_cfg, scheme, train, test, training="qat", epochs=1)
+        assert result.weight_granularity == "column"
+        assert result.epochs == 1
+        assert result.history is not None
+        assert "top1_accuracy" in result.row()
+
+    def test_run_scheme_two_stage(self, tiny_cfg, tiny_loaders):
+        train, test = tiny_loaders
+        scheme = tiny_cfg.scheme("layer", "column")
+        result = run_scheme(tiny_cfg, scheme, train, test, training="two-stage-qat",
+                            epochs=2)
+        assert result.training == "two-stage-qat"
+        assert result.history.stage_boundaries  # two stages recorded
+
+    def test_run_scheme_ptq_requires_pretrained(self, tiny_cfg, tiny_loaders):
+        train, test = tiny_loaders
+        with pytest.raises(ValueError):
+            run_scheme(tiny_cfg, get_scheme("kim"), train, test, training="ptq")
+
+    def test_run_scheme_ptq(self, tiny_cfg, tiny_loaders):
+        train, test = tiny_loaders
+        _fp_result, fp_model = run_fp_baseline(tiny_cfg, train, test, epochs=1)
+        scheme = get_scheme("kim", weight_bits=tiny_cfg.weight_bits,
+                            act_bits=tiny_cfg.act_bits, psum_bits=tiny_cfg.psum_bits)
+        result = run_scheme(tiny_cfg, scheme, train, test, training="ptq",
+                            pretrained_fp=fp_model)
+        assert result.training == "ptq"
+        assert result.epochs == 0
+
+
+class TestDistribution:
+    def test_fig6_column_wider_dynamic_range(self, tiny_cfg):
+        results = compare_psum_distributions(tiny_cfg, layer_index=1, train_epochs=0)
+        assert set(results) == {"layer", "column"}
+        for dist in results.values():
+            assert dist.num_columns > 0
+            assert np.all(dist.dynamic_range >= 0)
+            assert "mean_dynamic_range" in dist.summary()
+
+
+class TestOverhead:
+    def test_fig8_overhead_table_orderings(self, tiny_cfg):
+        points = compute_overhead_table(tiny_cfg)
+        assert len(points) == 9
+        by_psum = {}
+        for point in points:
+            by_psum.setdefault(point.psum_granularity, set()).add(point.dequant_mults_total)
+        # overhead depends only on the partial-sum granularity (paper's claim)
+        assert all(len(values) == 1 for values in by_psum.values())
+        assert min(by_psum["layer"]) < min(by_psum["array"]) <= min(by_psum["column"])
+        assert all("dequant_mults_total" in p.row() for p in points)
+
+
+class TestRobustness:
+    def test_fig10_accuracy_degrades_with_sigma(self, tiny_cfg, tiny_loaders):
+        train, test = tiny_loaders
+        model = build_experiment_model(tiny_cfg, scheme=tiny_cfg.scheme())
+        accs = evaluate_under_variation(model, test, sigma=0.0, trials=1)
+        assert len(accs) == 1
+        points = run_variation_sweep({"ours": model}, test, sigmas=(0.0, 0.4), trials=2)
+        assert len(points) == 2
+        assert points[0].trials == 1      # sigma=0 needs a single trial
+        assert points[1].trials == 2
+        assert {p.sigma for p in points} == {0.0, 0.4}
+
+
+class TestQATScheduleHelpers:
+    def _result(self, case, accs, seconds):
+        history = TrainingHistory(test_accuracy=accs, epoch_seconds=seconds,
+                                  train_loss=[0.0] * len(accs))
+        return QATScheduleResult(case=case, weight_granularity="column",
+                                 psum_granularity="column", training="qat",
+                                 best_accuracy=max(accs), final_accuracy=accs[-1],
+                                 total_seconds=sum(seconds), epochs=len(accs),
+                                 history=history)
+
+    def test_relative_cost_to_reach(self):
+        results = {
+            "slow": self._result("slow", [0.2, 0.4, 0.6], [10, 10, 10]),
+            "fast": self._result("fast", [0.5, 0.7], [10, 10]),
+        }
+        # 'fast' reaches slow's best (0.6) after 2 epochs = 20s vs slow's 30s
+        saving = relative_cost_to_reach(results, "slow", "fast")
+        assert saving == pytest.approx(1 - 20 / 30)
+
+    def test_relative_cost_none_when_unreached(self):
+        results = {
+            "good": self._result("good", [0.9], [10]),
+            "bad": self._result("bad", [0.1, 0.2], [10, 10]),
+        }
+        assert relative_cost_to_reach(results, "good", "bad") is None
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": None}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text and "a" in text and "0.5000" in text and "-" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_markdown_table(self):
+        md = markdown_table([{"x": 1}])
+        assert md.startswith("| x |")
+        assert "| 1 |" in md
+
+    def test_format_series(self):
+        text = format_series("acc", [0, 1], [0.5, 0.6], "sigma", "top1")
+        assert "sigma=0" in text and "top1=0.6000" in text

@@ -1,0 +1,79 @@
+"""ADC / DAC behavioural models."""
+
+import numpy as np
+import pytest
+
+from repro.cim import ADCModel, DACModel, bit_serial_slices, ideal_adc_codes
+
+
+class TestADC:
+    def test_convert_rounds_and_clips(self):
+        adc = ADCModel(bits=3, signed=True)
+        codes = adc.convert(np.array([0.4, 2.6, 100.0, -100.0]), scale=1.0)
+        np.testing.assert_allclose(codes, [0.0, 3.0, 3.0, -4.0])
+
+    def test_reconstruct(self):
+        adc = ADCModel(bits=4)
+        psum = np.array([3.0, -5.0])
+        codes = adc.convert(psum, 1.0)
+        np.testing.assert_allclose(adc.reconstruct(codes, 1.0), psum)
+
+    def test_per_column_scale(self, rng):
+        adc = ADCModel(bits=4)
+        psum = rng.normal(size=(10, 4)) * np.array([1.0, 2.0, 4.0, 8.0])
+        scale = np.array([1.0, 2.0, 4.0, 8.0]) / 7
+        codes = adc.convert(psum, scale)
+        assert codes.max() <= 7 and codes.min() >= -8
+
+    def test_stats_report_clipping(self, rng):
+        adc = ADCModel(bits=2)
+        psum = rng.normal(size=1000) * 10
+        _codes, stats = adc.convert_with_stats(psum, scale=1.0)
+        assert stats.clipped_fraction > 0
+        assert stats.mse > 0
+
+    def test_no_clipping_with_generous_scale(self, rng):
+        adc = ADCModel(bits=8)
+        psum = rng.normal(size=100)
+        _codes, stats = adc.convert_with_stats(psum, scale=1.0)
+        assert stats.clipped_fraction == 0.0
+
+    def test_saturation_value(self):
+        adc = ADCModel(bits=4, signed=True)
+        assert adc.saturation_value(np.array([2.0]))[0] == pytest.approx(16.0)
+
+    def test_ideal_adc_codes(self):
+        np.testing.assert_allclose(ideal_adc_codes(np.array([2.2, -3.7])), [2.0, -4.0])
+
+
+class TestDAC:
+    def test_encode_clips_to_unsigned_range(self):
+        dac = DACModel(bits=3)
+        np.testing.assert_allclose(dac.encode(np.array([-1.0, 3.0, 100.0])), [0.0, 3.0, 7.0])
+
+    def test_parallel_drive_single_cycle(self):
+        dac = DACModel(bits=4, bit_serial=False)
+        pattern = dac.drive(np.array([5.0]))
+        assert len(pattern) == 1
+        assert dac.cycles_per_input == 1
+
+    def test_bit_serial_reconstructs_input(self, rng):
+        dac = DACModel(bits=4, bit_serial=True)
+        codes = rng.integers(0, 16, size=20).astype(float)
+        pattern = dac.drive(codes)
+        assert len(pattern) == 4
+        recon = sum(values * significance for values, significance in pattern)
+        np.testing.assert_allclose(recon, codes)
+
+    def test_bit_serial_slices_are_binary(self, rng):
+        slices = bit_serial_slices(rng.integers(0, 8, size=50), bits=3)
+        for s in slices:
+            assert set(np.unique(s)).issubset({0.0, 1.0})
+
+    def test_bit_serial_negative_raises(self):
+        with pytest.raises(ValueError):
+            bit_serial_slices(np.array([-1]), 3)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            DACModel(bits=0)

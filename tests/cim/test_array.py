@@ -1,0 +1,90 @@
+"""Single-crossbar behavioural model."""
+
+import numpy as np
+import pytest
+
+from repro.cim import ADCModel, CIMConfig, CrossbarArray, VariationModel
+
+
+class TestProgramming:
+    def test_program_and_read_back(self, rng):
+        array = CrossbarArray(rows=16, cols=8, cell_bits=2)
+        values = rng.integers(-2, 4, size=(10, 6)).astype(float)
+        array.program(values)
+        np.testing.assert_allclose(array.cells[:10, :6], values)
+        np.testing.assert_allclose(array.cells[10:, :], 0.0)
+
+    def test_program_rejects_out_of_range(self):
+        array = CrossbarArray(rows=4, cols=4, cell_bits=1, signed_cells=False)
+        with pytest.raises(ValueError):
+            array.program(np.full((2, 2), 3.0))
+
+    def test_program_rejects_oversize(self):
+        array = CrossbarArray(rows=4, cols=4)
+        with pytest.raises(ValueError):
+            array.program(np.zeros((5, 4)))
+
+    def test_unprogrammed_access_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossbarArray(4, 4).cells
+
+    def test_from_config(self):
+        array = CrossbarArray.from_config(CIMConfig(array_rows=64, array_cols=32, cell_bits=2))
+        assert array.rows == 64 and array.cols == 32 and array.cell_bits == 2
+
+    def test_occupancy_and_column(self, rng):
+        array = CrossbarArray(rows=8, cols=4, cell_bits=2)
+        values = np.ones((4, 2))
+        array.program(values)
+        assert array.occupancy() == pytest.approx(8 / 32)
+        np.testing.assert_allclose(array.column(0)[:4], 1.0)
+
+
+class TestMAC:
+    def test_matches_matrix_product(self, rng):
+        array = CrossbarArray(rows=12, cols=6, cell_bits=3)
+        weights = rng.integers(-4, 4, size=(12, 6)).astype(float)
+        array.program(weights)
+        inputs = rng.integers(0, 8, size=(5, 12)).astype(float)
+        np.testing.assert_allclose(array.mac(inputs), inputs @ weights)
+
+    def test_single_vector_input(self, rng):
+        array = CrossbarArray(rows=6, cols=3, cell_bits=2)
+        weights = rng.integers(-2, 2, size=(6, 3)).astype(float)
+        array.program(weights)
+        x = rng.integers(0, 4, size=6).astype(float)
+        out = array.mac(x)
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, x @ weights)
+
+    def test_short_input_addresses_first_wordlines(self, rng):
+        array = CrossbarArray(rows=8, cols=2, cell_bits=2)
+        weights = rng.integers(-2, 2, size=(8, 2)).astype(float)
+        array.program(weights)
+        x = np.ones(4)
+        np.testing.assert_allclose(array.mac(x), x @ weights[:4])
+
+    def test_too_long_input_raises(self):
+        array = CrossbarArray(rows=4, cols=2)
+        array.program(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            array.mac(np.ones(5))
+
+    def test_mac_digitized(self, rng):
+        array = CrossbarArray(rows=8, cols=4, cell_bits=2)
+        array.program(rng.integers(-2, 4, size=(8, 4)).astype(float))
+        adc = ADCModel(bits=4)
+        codes, recon = array.mac_digitized(np.ones(8), adc, scale=np.full(4, 2.0))
+        assert codes.shape == (4,)
+        np.testing.assert_allclose(recon, codes * 2.0)
+
+
+class TestVariation:
+    def test_apply_variation_changes_cells(self, rng):
+        array = CrossbarArray(rows=8, cols=8, cell_bits=2)
+        values = rng.integers(1, 4, size=(8, 8)).astype(float)
+        array.program(values)
+        array.apply_variation(VariationModel(sigma=0.2, seed=0))
+        assert not np.allclose(array.cells, values)
+        # multiplicative noise keeps zeros at zero and preserves sign
+        assert np.all(np.sign(array.cells) == np.sign(values))

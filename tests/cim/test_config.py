@@ -1,0 +1,62 @@
+"""CIMConfig and QuantScheme validation."""
+
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.quant import Granularity
+
+
+class TestCIMConfig:
+    def test_defaults(self):
+        cfg = CIMConfig()
+        assert cfg.array_rows == 128 and cfg.array_cols == 128
+        assert cfg.tiling == "kernel_preserving"
+
+    def test_n_splits(self):
+        cfg = CIMConfig(cell_bits=2)
+        assert cfg.n_splits(4) == 2
+        assert cfg.n_splits(3) == 2
+        assert cfg.n_splits(1) == 1          # cell wider than weight: one split
+
+    def test_bitsplit_clamps_cell_bits_to_weight_bits(self):
+        cfg = CIMConfig(cell_bits=4)
+        bs = cfg.bitsplit(3)
+        assert bs.cell_bits == 3 and bs.n_splits == 1
+
+    def test_with_replaces_fields(self):
+        cfg = CIMConfig().with_(array_rows=256)
+        assert cfg.array_rows == 256 and cfg.array_cols == 128
+
+    @pytest.mark.parametrize("kwargs", [
+        {"array_rows": 0}, {"cell_bits": 0}, {"adc_bits": 0}, {"tiling": "diagonal"},
+    ])
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CIMConfig(**kwargs)
+
+
+class TestQuantScheme:
+    def test_defaults_are_ours(self):
+        scheme = QuantScheme()
+        assert scheme.weight_granularity is Granularity.COLUMN
+        assert scheme.psum_granularity is Granularity.COLUMN
+        assert scheme.granularity_aligned
+
+    def test_string_granularities_parsed(self):
+        scheme = QuantScheme(weight_granularity="layer", psum_granularity="array")
+        assert scheme.weight_granularity is Granularity.LAYER
+        assert not scheme.granularity_aligned
+
+    def test_label(self):
+        scheme = QuantScheme(weight_granularity="layer", psum_granularity="column")
+        assert scheme.label() == "Layer/Column"
+        assert QuantScheme(quantize_psum=False).label().endswith("/None")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantScheme(weight_bits=0)
+
+    def test_with_override(self):
+        scheme = QuantScheme().with_(psum_bits=2)
+        assert scheme.psum_bits == 2
+        assert scheme.weight_bits == 4

@@ -1,0 +1,76 @@
+"""Dequantization-overhead and ADC cost models (Fig. 8 x-axis)."""
+
+import pytest
+
+from repro.cim import (ADCCostModel, CIMConfig, CostReport, DequantOverhead,
+                       build_mapping, dequant_mults_per_layer, layer_adc_conversions,
+                       model_dequant_overhead)
+from repro.quant import Granularity
+
+
+class TestDequantMults:
+    def test_paper_formulas(self):
+        n_arrays, noc, n_splits = 5, 64, 3
+        assert dequant_mults_per_layer("layer", n_arrays, noc, n_splits) == 1
+        assert dequant_mults_per_layer("array", n_arrays, noc, n_splits) == n_arrays * noc
+        assert dequant_mults_per_layer("column", n_arrays, noc, n_splits) == \
+            n_splits * n_arrays * noc
+
+    def test_weight_granularity_does_not_change_overhead(self):
+        """The paper's key claim: folding the weight scale is free."""
+        overhead_layer_w = DequantOverhead("conv", Granularity.COLUMN, Granularity.LAYER,
+                                           n_arrays=4, channels_per_array=16, n_splits=2)
+        overhead_column_w = DequantOverhead("conv", Granularity.COLUMN, Granularity.COLUMN,
+                                            n_arrays=4, channels_per_array=16, n_splits=2)
+        assert overhead_layer_w.multiplications == overhead_column_w.multiplications
+        assert overhead_layer_w.stored_scale_factors == overhead_column_w.stored_scale_factors
+
+    def test_ordering_layer_lt_array_lt_column(self):
+        args = (6, 32, 2)
+        layer = dequant_mults_per_layer("layer", *args)
+        array = dequant_mults_per_layer("array", *args)
+        column = dequant_mults_per_layer("column", *args)
+        assert layer < array < column
+
+
+class TestModelOverhead:
+    def test_per_layer_report(self):
+        cfg = CIMConfig(array_rows=64, array_cols=64, cell_bits=2)
+        mappings = {
+            "conv1": build_mapping(16, 16, (3, 3), 4, cfg),
+            "conv2": build_mapping(16, 32, (3, 3), 4, cfg),
+        }
+        report = model_dequant_overhead(mappings, Granularity.COLUMN, Granularity.COLUMN)
+        assert set(report) == {"conv1", "conv2"}
+        for name, mapping in mappings.items():
+            expected = mapping.n_splits * mapping.n_arrays * mapping.channels_per_array
+            assert report[name].multiplications == expected
+
+    def test_cost_report_aggregation(self):
+        cfg = CIMConfig(array_rows=64, array_cols=64, cell_bits=2)
+        mappings = {"conv": build_mapping(8, 8, (3, 3), 4, cfg)}
+        overheads = model_dequant_overhead(mappings, "column", "array")
+        conversions = {"conv": layer_adc_conversions(mappings["conv"], n_outputs_spatial=64)}
+        report = CostReport.aggregate(overheads, conversions, adc_bits=4)
+        assert report.total_dequant_mults == overheads["conv"].multiplications
+        assert report.total_adc_conversions == conversions["conv"]
+        assert report.total_adc_energy_pj > 0
+        assert report.total_arrays >= 1
+
+
+class TestADCCostModel:
+    def test_energy_grows_exponentially_with_bits(self):
+        model = ADCCostModel()
+        assert model.energy_per_conversion(8) == pytest.approx(
+            16 * model.energy_per_conversion(4))
+        assert model.area_per_adc(6) > model.area_per_adc(4)
+
+    def test_layer_energy_scales_with_conversions(self):
+        model = ADCCostModel()
+        assert model.layer_energy(200, 4) == pytest.approx(2 * model.layer_energy(100, 4))
+
+    def test_adc_conversions_formula(self):
+        cfg = CIMConfig(array_rows=64, array_cols=64, cell_bits=2)
+        mapping = build_mapping(16, 32, (3, 3), 4, cfg)
+        conversions = layer_adc_conversions(mapping, n_outputs_spatial=100, batch=2)
+        assert conversions == mapping.n_splits * mapping.n_arrays_row * 32 * 100 * 2

@@ -1,0 +1,113 @@
+"""Crossbar mapping / tiling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cim import (CIMConfig, build_linear_mapping, build_mapping, rows_utilization,
+                       tile_weight_matrix)
+
+
+class TestKernelPreservingTiling:
+    def test_whole_channels_per_array(self):
+        cfg = CIMConfig(array_rows=128, array_cols=128, cell_bits=1)
+        mapping = build_mapping(64, 64, (3, 3), weight_bits=3, config=cfg,
+                                strategy="kernel_preserving")
+        # 128 // 9 = 14 channels per array -> 5 arrays for 64 channels
+        assert mapping.rows_per_array == 14 * 9
+        assert mapping.n_arrays_row == 5
+        # every tile boundary is a multiple of the receptive field
+        for tile in mapping.tiles:
+            assert tile.row_start % 9 == 0
+            assert tile.rows % 9 == 0
+
+    def test_covers_all_rows_without_overlap(self):
+        cfg = CIMConfig(array_rows=32)
+        mapping = build_mapping(16, 8, (3, 3), 4, cfg, strategy="kernel_preserving")
+        covered = []
+        for tile in mapping.tiles:
+            covered.extend(range(tile.row_start, tile.row_stop))
+        assert covered == list(range(16 * 9))
+
+    def test_fallback_to_im2col_when_kernel_larger_than_array(self):
+        cfg = CIMConfig(array_rows=8)
+        mapping = build_mapping(4, 4, (3, 3), 4, cfg, strategy="kernel_preserving")
+        # receptive field 9 > 8 rows -> falls back to plain row chunks
+        assert mapping.rows_per_array == 8
+
+    def test_utilization_less_or_equal_one(self):
+        cfg = CIMConfig(array_rows=128)
+        mapping = build_mapping(64, 64, (3, 3), 3, cfg)
+        assert 0 < rows_utilization(mapping) <= 1.0
+
+    def test_im2col_has_full_utilization_except_last(self):
+        cfg = CIMConfig(array_rows=100)
+        mapping = build_mapping(64, 64, (3, 3), 3, cfg, strategy="im2col")
+        # 576 rows / 100 = 6 arrays; utilisation = 576/600
+        assert mapping.n_arrays_row == 6
+        assert rows_utilization(mapping) == pytest.approx(576 / 600)
+
+
+class TestIm2colTiling:
+    def test_chunks_of_array_rows(self):
+        cfg = CIMConfig(array_rows=128)
+        mapping = build_mapping(64, 64, (3, 3), 3, cfg, strategy="im2col")
+        assert mapping.rows_per_array == 128
+        assert mapping.n_arrays_row == int(np.ceil(64 * 9 / 128))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            build_mapping(4, 4, (3, 3), 4, CIMConfig(), strategy="zigzag")
+
+
+class TestColumnTiling:
+    def test_col_tiles_account_for_bit_splits(self):
+        cfg = CIMConfig(array_rows=128, array_cols=128, cell_bits=1)
+        # 64 output channels x 3 bit-splits = 192 columns -> 2 column tiles
+        mapping = build_mapping(16, 64, (3, 3), weight_bits=3, config=cfg)
+        assert mapping.n_splits == 3
+        assert mapping.col_tiles == 2
+        assert mapping.n_arrays == mapping.n_arrays_row * 2
+
+    def test_channels_per_array(self):
+        cfg = CIMConfig(array_rows=128, array_cols=64, cell_bits=4)
+        mapping = build_mapping(16, 128, (1, 1), weight_bits=4, config=cfg)
+        assert mapping.col_tiles == 2
+        assert mapping.channels_per_array == 64
+
+
+class TestLinearMapping:
+    def test_rows_and_arrays(self):
+        cfg = CIMConfig(array_rows=64, array_cols=64, cell_bits=2)
+        mapping = build_linear_mapping(200, 10, weight_bits=4, config=cfg)
+        assert mapping.n_arrays_row == 4
+        assert mapping.rows_per_array == 64
+        assert mapping.layer_type == "linear"
+        assert mapping.used_rows == 200
+
+    def test_small_layer_single_array(self):
+        cfg = CIMConfig(array_rows=128, array_cols=128)
+        mapping = build_linear_mapping(64, 10, 3, cfg)
+        assert mapping.n_arrays == 1
+        assert mapping.rows_per_array == 64
+
+
+class TestTileWeightMatrix:
+    def test_tiles_and_pads(self, rng):
+        cfg = CIMConfig(array_rows=32)
+        mapping = build_mapping(5, 7, (3, 3), 4, cfg, strategy="kernel_preserving")
+        w = rng.normal(size=(5 * 9, 7))
+        tiled = tile_weight_matrix(w, mapping)
+        assert tiled.shape == (mapping.n_arrays_row, mapping.rows_per_array, 7)
+        # concatenating used rows reproduces the original matrix
+        rebuilt = np.concatenate([tiled[t.index, :t.rows] for t in mapping.tiles])
+        np.testing.assert_allclose(rebuilt, w)
+
+    def test_wrong_rows_raises(self, rng):
+        cfg = CIMConfig(array_rows=32)
+        mapping = build_mapping(5, 7, (3, 3), 4, cfg)
+        with pytest.raises(ValueError):
+            tile_weight_matrix(rng.normal(size=(10, 7)), mapping)
+
+    def test_describe_mentions_strategy(self):
+        mapping = build_mapping(8, 8, (3, 3), 4, CIMConfig(array_rows=32))
+        assert "kernel_preserving" in mapping.describe()

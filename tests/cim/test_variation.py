@@ -1,0 +1,71 @@
+"""Log-normal memory-cell variation model (Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.cim import VariationModel, apply_lognormal_variation
+
+
+class TestApplyVariation:
+    def test_sigma_zero_is_identity(self, rng):
+        values = rng.normal(size=100)
+        out = apply_lognormal_variation(values, 0.0)
+        np.testing.assert_allclose(out, values)
+        assert out is not values  # returns a copy
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            apply_lognormal_variation(np.ones(3), -0.1)
+
+    def test_multiplicative_structure(self, rng):
+        values = rng.normal(size=1000) + 5.0
+        out = apply_lognormal_variation(values, 0.1, np.random.default_rng(0))
+        ratio = out / values
+        assert np.all(ratio > 0)                        # e^theta is positive
+        assert np.std(np.log(ratio)) == pytest.approx(0.1, rel=0.15)
+
+    def test_zero_values_stay_zero(self):
+        out = apply_lognormal_variation(np.zeros(10), 0.3, np.random.default_rng(0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_mean_log_ratio_near_zero(self, rng):
+        values = np.ones(20000)
+        out = apply_lognormal_variation(values, 0.2, np.random.default_rng(1))
+        assert abs(np.mean(np.log(out))) < 0.01
+
+
+class TestVariationModel:
+    def test_disabled_model(self, rng):
+        model = VariationModel(sigma=0.0)
+        assert not model.enabled
+        values = rng.normal(size=10)
+        np.testing.assert_allclose(model.perturb(values), values)
+
+    def test_seeded_reproducibility(self, rng):
+        values = rng.normal(size=50)
+        a = VariationModel(sigma=0.2, seed=42).perturb(values)
+        b = VariationModel(sigma=0.2, seed=42).perturb(values)
+        np.testing.assert_allclose(a, b)
+
+    def test_reseed(self, rng):
+        values = rng.normal(size=50)
+        model = VariationModel(sigma=0.2, seed=1)
+        first = model.perturb(values)
+        model.reseed(1)
+        np.testing.assert_allclose(model.perturb(values), first)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma=0.1, target="rows")
+
+    def test_sweep_yields_models_with_given_sigmas(self):
+        sigmas = [0.0, 0.1, 0.2]
+        models = list(VariationModel(target="weights").sweep(sigmas))
+        assert [m.sigma for m in models] == sigmas
+        assert all(m.target == "weights" for m in models)
+
+    def test_larger_sigma_larger_perturbation(self, rng):
+        values = rng.normal(size=2000) + 3.0
+        small = VariationModel(sigma=0.05, seed=0).perturb(values)
+        large = VariationModel(sigma=0.25, seed=0).perturb(values)
+        assert np.mean(np.abs(large - values)) > np.mean(np.abs(small - values))

@@ -1,0 +1,227 @@
+"""CIMConv2d: equivalence, gradients, granularities, variation, tiling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cim import CIMConfig, QuantScheme, VariationModel
+from repro.core import CIMConv2d, PartialSumRecorder
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def positive_input(rng, shape):
+    """Post-ReLU-like activations (the usual input of a CIM conv layer)."""
+    return Tensor(np.abs(rng.normal(size=shape)), requires_grad=True)
+
+
+@pytest.fixture
+def cfg():
+    return CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+
+
+class TestEquivalence:
+    """With partial-sum quantization off, the CIM pipeline must equal a plain
+    convolution over the fake-quantized weights and activations."""
+
+    @pytest.mark.parametrize("weight_granularity", ["layer", "array", "column"])
+    def test_matches_reference_conv(self, rng, cfg, weight_granularity):
+        scheme = QuantScheme(weight_bits=4, act_bits=4, psum_bits=4,
+                             weight_granularity=weight_granularity,
+                             psum_granularity="column", quantize_psum=False)
+        layer = CIMConv2d(6, 8, 3, padding=1, scheme=scheme, cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 6, 6, 6))
+        out = layer(x)
+        a_int, s_a = layer.act_quant.quantize_int(x)
+        ref = F.conv2d(a_int * s_a, layer.reconstructed_weight(), None, padding=1)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-9)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_stride_padding(self, rng, cfg, stride, padding):
+        scheme = QuantScheme(quantize_psum=False)
+        layer = CIMConv2d(4, 6, 3, stride=stride, padding=padding, scheme=scheme,
+                          cim_config=cfg, rng=rng)
+        x = positive_input(rng, (1, 4, 7, 7))
+        out = layer(x)
+        a_int, s_a = layer.act_quant.quantize_int(x)
+        ref = F.conv2d(a_int * s_a, layer.reconstructed_weight(), None,
+                       stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-9)
+
+    def test_im2col_and_kernel_preserving_tilings_agree(self, rng):
+        """Both tilings compute the same partial sums, just partitioned differently."""
+        scheme = QuantScheme(weight_granularity="layer", psum_granularity="layer",
+                             quantize_psum=False)
+        x = positive_input(rng, (1, 8, 5, 5))
+        outputs = []
+        for strategy in ("kernel_preserving", "im2col"):
+            cfg = CIMConfig(array_rows=30, array_cols=32, cell_bits=2, tiling=strategy)
+            layer = CIMConv2d(8, 4, 3, padding=1, scheme=scheme, cim_config=cfg,
+                              rng=np.random.default_rng(7))
+            outputs.append(layer(x).data)
+        np.testing.assert_allclose(outputs[0], outputs[1], atol=1e-9)
+
+    def test_multi_cell_weight_equals_single_cell(self, rng):
+        """Bit-splitting is exact: 1 cell/bit and many bits/cell give the same output."""
+        scheme = QuantScheme(weight_bits=4, quantize_psum=False)
+        x = positive_input(rng, (1, 4, 5, 5))
+        outputs = []
+        for cell_bits in (1, 2, 4):
+            cfg = CIMConfig(array_rows=64, array_cols=64, cell_bits=cell_bits)
+            layer = CIMConv2d(4, 5, 3, padding=1, scheme=scheme, cim_config=cfg,
+                              rng=np.random.default_rng(3))
+            outputs.append(layer(x).data)
+        np.testing.assert_allclose(outputs[0], outputs[1], atol=1e-9)
+        np.testing.assert_allclose(outputs[0], outputs[2], atol=1e-9)
+
+    def test_bias_added(self, rng, cfg):
+        scheme = QuantScheme(quantize_psum=False)
+        layer = CIMConv2d(3, 4, 3, padding=1, bias=True, scheme=scheme, cim_config=cfg,
+                          rng=rng)
+        x = positive_input(rng, (1, 3, 4, 4))
+        without_bias = layer(x).data - layer.bias.data.reshape(1, -1, 1, 1)
+        layer_nob = CIMConv2d(3, 4, 3, padding=1, bias=False, scheme=scheme,
+                              cim_config=cfg, rng=np.random.default_rng(0))
+        layer_nob.weight.data = layer.weight.data.copy()
+        np.testing.assert_allclose(without_bias, layer_nob(x).data, atol=1e-9)
+
+
+class TestQuantizationEffects:
+    def test_psum_quantization_changes_output(self, rng, cfg):
+        x = positive_input(rng, (2, 6, 6, 6))
+        base = QuantScheme(weight_bits=4, act_bits=4, psum_bits=2,
+                           weight_granularity="column", psum_granularity="column")
+        layer = CIMConv2d(6, 8, 3, padding=1, scheme=base, cim_config=cfg, rng=rng)
+        out_quantized = layer(x).data.copy()
+        layer.set_psum_quant_enabled(False)
+        out_full = layer(x).data
+        assert not np.allclose(out_quantized, out_full)
+
+    def test_lower_psum_bits_larger_error(self, rng, cfg):
+        x = positive_input(rng, (2, 6, 8, 8))
+        errors = {}
+        for bits in (1, 3, 6):
+            scheme = QuantScheme(weight_bits=4, act_bits=4, psum_bits=bits,
+                                 weight_granularity="column", psum_granularity="column")
+            layer = CIMConv2d(6, 8, 3, padding=1, scheme=scheme, cim_config=cfg,
+                              rng=np.random.default_rng(11))
+            quantized = layer(x).data.copy()
+            layer.set_psum_quant_enabled(False)
+            reference = layer(x).data
+            errors[bits] = float(np.mean((quantized - reference) ** 2))
+        assert errors[1] > errors[3] > errors[6]
+
+    def test_column_weight_scales_have_column_shape(self, rng, cfg):
+        layer = CIMConv2d(6, 8, 3, scheme=QuantScheme(weight_granularity="column"),
+                          cim_config=cfg, rng=rng)
+        assert layer.weight_quant.scale.shape == (layer.n_arrays, 1, 8)
+        layer_l = CIMConv2d(6, 8, 3, scheme=QuantScheme(weight_granularity="layer"),
+                            cim_config=cfg, rng=rng)
+        assert layer_l.weight_quant.scale.shape == (1, 1, 1)
+
+    def test_psum_scale_shape_matches_granularity(self, rng, cfg):
+        for granularity, expected_tail in [("layer", (1, 1, 1, 1, 1)),
+                                           ("array", None), ("column", None)]:
+            layer = CIMConv2d(6, 8, 3, scheme=QuantScheme(psum_granularity=granularity),
+                              cim_config=cfg, rng=rng)
+            shape = layer.psum_quant.scale.shape
+            if granularity == "layer":
+                assert shape == (1, 1, 1, 1, 1)
+            elif granularity == "array":
+                assert shape == (layer.n_splits, layer.n_arrays, 1, 1, 1)
+            else:
+                assert shape == (layer.n_splits, layer.n_arrays, 1, 1, 8)
+
+    def test_column_weight_quant_lower_error_than_layer(self, rng, cfg):
+        """With range-covering (min-max) scales, finer weight granularity must
+        not increase the weight quantization error — the rationale behind
+        column-wise weight quantization (Sec. III-A)."""
+        weight = rng.normal(size=(8, 6, 3, 3)) * \
+            np.linspace(0.1, 2.0, 8).reshape(8, 1, 1, 1)
+        errors = {}
+        for granularity in ("layer", "column"):
+            layer = CIMConv2d(6, 8, 3, scheme=QuantScheme(weight_granularity=granularity,
+                                                          quantize_psum=False),
+                              cim_config=cfg, rng=rng)
+            layer.weight.data = weight.copy()
+            # assign min-max scales per group (no clipping), bypassing LSQ init
+            tiled = layer._tiled_weight().data
+            group_shape = layer.weight_quant._broadcast_group_shape(tiled.shape)
+            axes = tuple(i for i, d in enumerate(group_shape) if d == 1)
+            bound = np.abs(tiled).max(axis=axes, keepdims=True)
+            layer.weight_quant.scale.data = np.maximum(
+                bound / layer.weight_quant.qmax, 1e-8).reshape(layer.weight_quant.scale_shape)
+            layer.weight_quant.initialized[...] = 1.0
+            w_hat = layer.reconstructed_weight().data
+            errors[granularity] = float(np.mean((w_hat - weight) ** 2))
+        assert errors["column"] <= errors["layer"]
+
+
+class TestGradients:
+    def test_all_parameters_receive_gradients(self, rng, cfg):
+        layer = CIMConv2d(4, 6, 3, padding=1, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 4, 5, 5))
+        (layer(x) ** 2).sum().backward()
+        assert layer.weight.grad is not None and np.any(layer.weight.grad != 0)
+        assert layer.weight_quant.scale.grad is not None
+        assert layer.act_quant.scale.grad is not None
+        assert layer.psum_quant.scale.grad is not None
+        assert x.grad is not None
+
+    def test_non_learnable_scales_receive_no_gradient(self, rng, cfg):
+        scheme = QuantScheme(learnable_weight_scale=False, learnable_psum_scale=False)
+        layer = CIMConv2d(4, 6, 3, scheme=scheme, cim_config=cfg, rng=rng)
+        x = positive_input(rng, (1, 4, 5, 5))
+        (layer(x) ** 2).sum().backward()
+        assert layer.weight_quant.scale.grad is None
+        assert layer.psum_quant.scale.grad is None
+
+    def test_quantize_input_false_passes_raw_activations(self, rng, cfg):
+        layer = CIMConv2d(3, 4, 3, scheme=QuantScheme(quantize_psum=False),
+                          cim_config=cfg, quantize_input=False, rng=rng)
+        assert layer.act_quant is None
+        x = positive_input(rng, (1, 3, 5, 5))
+        ref = F.conv2d(x, layer.reconstructed_weight(), None)
+        np.testing.assert_allclose(layer(x).data, ref.data, atol=1e-9)
+
+
+class TestRuntimeFeatures:
+    def test_recorder_collects_expected_columns(self, rng, cfg):
+        layer = CIMConv2d(6, 8, 3, padding=1, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        recorder = PartialSumRecorder()
+        layer.attach_recorder(recorder, "layer0")
+        layer(positive_input(rng, (1, 6, 6, 6)))
+        columns = recorder.column_values("layer0")
+        assert len(columns) == layer.n_splits * layer.n_arrays * 8
+        assert all(col.size > 0 for col in columns)
+
+    def test_variation_changes_output_and_scales_with_sigma(self, rng, cfg):
+        layer = CIMConv2d(6, 8, 3, padding=1, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (1, 6, 6, 6))
+        clean = layer(x).data.copy()
+        deltas = []
+        for sigma in (0.05, 0.3):
+            layer.set_variation(VariationModel(sigma=sigma, seed=0))
+            deltas.append(float(np.mean(np.abs(layer(x).data - clean))))
+        layer.set_variation(None)
+        assert deltas[0] > 0
+        assert deltas[1] > deltas[0]
+        np.testing.assert_allclose(layer(x).data, clean, atol=1e-12)
+
+    def test_variation_target_weights(self, rng, cfg):
+        layer = CIMConv2d(4, 4, 3, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (1, 4, 5, 5))
+        clean = layer(x).data.copy()
+        layer.set_variation(VariationModel(sigma=0.2, target="weights", seed=0))
+        assert not np.allclose(layer(x).data, clean)
+
+    def test_wrong_channel_count_raises(self, rng, cfg):
+        layer = CIMConv2d(4, 4, 3, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        with pytest.raises(ValueError):
+            layer(positive_input(rng, (1, 5, 5, 5)))
+
+    def test_extra_repr_mentions_scheme(self, rng, cfg):
+        layer = CIMConv2d(4, 4, 3, scheme=QuantScheme(weight_granularity="layer",
+                                                      psum_granularity="column"),
+                          cim_config=cfg, rng=rng)
+        assert "Layer/Column" in layer.extra_repr()

@@ -1,0 +1,101 @@
+"""CIMLinear layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme, VariationModel
+from repro.core import CIMLinear, PartialSumRecorder
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def cfg():
+    return CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+
+
+def positive_input(rng, shape):
+    return Tensor(np.abs(rng.normal(size=shape)), requires_grad=True)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("granularity", ["layer", "array", "column"])
+    def test_matches_reference_matmul(self, rng, cfg, granularity):
+        scheme = QuantScheme(weight_granularity=granularity, psum_granularity="column",
+                             quantize_psum=False)
+        layer = CIMLinear(70, 10, bias=False, scheme=scheme, cim_config=cfg, rng=rng)
+        x = positive_input(rng, (4, 70))
+        out = layer(x)
+        a_int, s_a = layer.act_quant.quantize_int(x)
+        ref = (a_int * s_a).matmul(layer.reconstructed_weight().transpose())
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-9)
+
+    def test_bias(self, rng, cfg):
+        layer = CIMLinear(20, 5, bias=True, scheme=QuantScheme(quantize_psum=False),
+                          cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 20))
+        out_with = layer(x).data
+        bias = layer.bias.data
+        layer.bias.data = np.zeros_like(bias)
+        np.testing.assert_allclose(out_with - bias, layer(x).data, atol=1e-9)
+
+    def test_multi_array_tiling(self, rng, cfg):
+        layer = CIMLinear(100, 8, scheme=QuantScheme(quantize_psum=False),
+                          cim_config=cfg, rng=rng, bias=False)
+        assert layer.n_arrays == 4
+        x = positive_input(rng, (3, 100))
+        a_int, s_a = layer.act_quant.quantize_int(x)
+        ref = (a_int * s_a).matmul(layer.reconstructed_weight().transpose())
+        np.testing.assert_allclose(layer(x).data, ref.data, atol=1e-9)
+
+
+class TestBehaviour:
+    def test_psum_quantization_changes_output(self, rng, cfg):
+        layer = CIMLinear(40, 6, scheme=QuantScheme(psum_bits=2), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 40))
+        quantized = layer(x).data.copy()
+        layer.set_psum_quant_enabled(False)
+        assert not np.allclose(quantized, layer(x).data)
+
+    def test_gradients_flow(self, rng, cfg):
+        layer = CIMLinear(30, 4, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 30))
+        (layer(x) ** 2).sum().backward()
+        for param in (layer.weight, layer.weight_quant.scale, layer.act_quant.scale,
+                      layer.psum_quant.scale):
+            assert param.grad is not None
+
+    def test_recorder(self, rng, cfg):
+        layer = CIMLinear(40, 6, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        recorder = PartialSumRecorder()
+        layer.attach_recorder(recorder, "fc")
+        layer(positive_input(rng, (2, 40)))
+        assert len(recorder.column_values("fc")) == layer.n_splits * layer.n_arrays * 6
+
+    def test_variation(self, rng, cfg):
+        layer = CIMLinear(40, 6, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        x = positive_input(rng, (2, 40))
+        clean = layer(x).data.copy()
+        layer.set_variation(VariationModel(sigma=0.2, seed=0))
+        assert not np.allclose(layer(x).data, clean)
+        layer.set_variation(VariationModel(sigma=0.2, target="weights", seed=0))
+        assert not np.allclose(layer(x).data, clean)
+
+    def test_wrong_input_shape_raises(self, rng, cfg):
+        layer = CIMLinear(10, 2, scheme=QuantScheme(), cim_config=cfg, rng=rng)
+        with pytest.raises(ValueError):
+            layer(positive_input(rng, (2, 11)))
+
+    def test_scale_shapes(self, rng, cfg):
+        layer = CIMLinear(70, 6, scheme=QuantScheme(weight_granularity="column",
+                                                    psum_granularity="column"),
+                          cim_config=cfg, rng=rng)
+        assert layer.weight_quant.scale.shape == (layer.n_arrays, 1, 6)
+        assert layer.psum_quant.scale.shape == (layer.n_splits, layer.n_arrays, 1, 6)
+
+    def test_quantize_input_false(self, rng, cfg):
+        layer = CIMLinear(12, 3, scheme=QuantScheme(quantize_psum=False),
+                          cim_config=cfg, quantize_input=False, rng=rng, bias=False)
+        assert layer.act_quant is None
+        x = positive_input(rng, (2, 12))
+        ref = x.matmul(layer.reconstructed_weight().transpose())
+        np.testing.assert_allclose(layer(x).data, ref.data, atol=1e-9)

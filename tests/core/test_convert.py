@@ -1,0 +1,106 @@
+"""FP -> CIM model conversion and whole-model helpers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cim import CIMConfig, QuantScheme, VariationModel
+from repro.core import (CIMConv2d, CIMLinear, PartialSumRecorder, apply_variation,
+                        attach_recorders, cim_layers, convert_to_cim, model_mappings,
+                        model_overhead, scale_parameters, set_psum_quant_enabled,
+                        weight_parameters)
+from repro.models import SimpleCNN, TinyCNN
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def cfg():
+    return CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+
+
+class TestConvert:
+    def test_replaces_all_conv_and_linear(self, cfg):
+        model = SimpleCNN(num_classes=5, channels=(8, 16))
+        convert_to_cim(model, QuantScheme(), cfg)
+        layers = dict(cim_layers(model))
+        assert len(layers) == 3  # 2 convs + classifier
+        assert all(isinstance(l, (CIMConv2d, CIMLinear)) for l in layers.values())
+
+    def test_weights_copied(self, cfg, rng):
+        model = TinyCNN(num_classes=3, width=4)
+        originals = {name: p.data.copy() for name, p in model.named_parameters()
+                     if name.endswith("weight") and p.ndim == 4}
+        convert_to_cim(model, QuantScheme(), cfg)
+        converted = {name: p.data for name, p in model.named_parameters()
+                     if name.endswith("weight") and p.data.ndim == 4}
+        for name, original in originals.items():
+            np.testing.assert_allclose(converted[name], original)
+
+    def test_first_conv_input_not_quantized_by_default(self, cfg):
+        model = TinyCNN(num_classes=3, width=4)
+        convert_to_cim(model, QuantScheme(), cfg)
+        convs = [l for _, l in cim_layers(model) if isinstance(l, CIMConv2d)]
+        assert convs[0].act_quant is None
+        assert convs[1].act_quant is not None
+
+    def test_converted_model_close_to_fp_at_high_precision(self, cfg, rng):
+        model = TinyCNN(num_classes=3, width=4, seed=1)
+        model.eval()
+        x = Tensor(np.abs(rng.normal(size=(2, 3, 8, 8))))
+        fp_out = model(x).data.copy()
+        convert_to_cim(model, QuantScheme(weight_bits=8, act_bits=8, psum_bits=8,
+                                          quantize_psum=True), cfg.with_(cell_bits=8))
+        model.eval()
+        quant_out = model(x).data
+        # 8-bit everywhere: outputs should stay close to full precision
+        assert np.max(np.abs(fp_out - quant_out)) < 0.3
+
+    def test_idempotent_on_cim_layers(self, cfg):
+        model = TinyCNN(num_classes=3, width=4, scheme=QuantScheme(), cim_config=cfg)
+        before = len(list(cim_layers(model)))
+        convert_to_cim(model, QuantScheme(), cfg)
+        assert len(list(cim_layers(model))) == before
+
+
+class TestModelHelpers:
+    def _model(self, cfg):
+        return TinyCNN(num_classes=3, width=4, scheme=QuantScheme(), cim_config=cfg)
+
+    def test_set_psum_quant_enabled(self, cfg):
+        model = self._model(cfg)
+        count = set_psum_quant_enabled(model, False)
+        assert count == 3
+        assert all(not layer.psum_quant_enabled for _, layer in cim_layers(model))
+
+    def test_apply_variation_and_clear(self, cfg):
+        model = self._model(cfg)
+        apply_variation(model, VariationModel(sigma=0.1, seed=0))
+        assert all(layer.variation is not None for _, layer in cim_layers(model))
+        apply_variation(model, None)
+        assert all(layer.variation is None for _, layer in cim_layers(model))
+
+    def test_attach_recorders_names_layers(self, cfg, rng):
+        model = self._model(cfg)
+        recorder = PartialSumRecorder()
+        attach_recorders(model, recorder)
+        model(Tensor(np.abs(rng.normal(size=(1, 3, 8, 8)))))
+        assert len(recorder.layers()) == 3
+
+    def test_model_mappings_and_overhead(self, cfg):
+        model = self._model(cfg)
+        mappings = model_mappings(model)
+        assert len(mappings) == 3
+        scheme = QuantScheme(psum_granularity="column")
+        overhead = model_overhead(model, scheme)
+        assert all(o.multiplications >= 1 for o in overhead.values())
+
+    def test_parameter_partition(self, cfg):
+        model = self._model(cfg)
+        scales = scale_parameters(model)
+        weights = weight_parameters(model)
+        assert len(scales) > 0 and len(weights) > 0
+        total = len(model.parameters())
+        # requires_grad params are partitioned without overlap
+        assert len(scales) + len(weights) == len([p for p in model.parameters()
+                                                  if p.requires_grad])
+        assert not (set(map(id, scales)) & set(map(id, weights)))

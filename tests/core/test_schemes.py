@@ -1,0 +1,89 @@
+"""Quantization-scheme registry (Table I)."""
+
+import pytest
+
+from repro.cim import QuantScheme
+from repro.core import (SCHEME_REGISTRY, all_granularity_combinations, get_scheme,
+                        related_work_schemes, table1_rows)
+from repro.quant import Granularity
+
+
+class TestRegistry:
+    def test_contains_all_related_works_and_ours(self):
+        assert set(SCHEME_REGISTRY) == {"kim", "bai", "saxena_date22",
+                                        "saxena_islped23", "ours"}
+
+    def test_table1_kim(self):
+        scheme = SCHEME_REGISTRY["kim"].scheme
+        assert scheme.weight_granularity is Granularity.LAYER
+        assert scheme.psum_granularity is Granularity.LAYER
+        assert not scheme.train_from_scratch                  # PTQ
+        assert not scheme.learnable_weight_scale
+        assert scheme.learnable_psum_scale
+
+    def test_table1_bai(self):
+        scheme = SCHEME_REGISTRY["bai"].scheme
+        assert scheme.weight_granularity is Granularity.ARRAY
+        assert scheme.psum_granularity is Granularity.ARRAY
+        assert not scheme.train_from_scratch
+
+    def test_table1_saxena_date22(self):
+        scheme = SCHEME_REGISTRY["saxena_date22"].scheme
+        assert scheme.weight_granularity is Granularity.LAYER
+        assert scheme.psum_granularity is Granularity.ARRAY
+        assert scheme.two_stage
+
+    def test_table1_saxena_islped23(self):
+        scheme = SCHEME_REGISTRY["saxena_islped23"].scheme
+        assert scheme.weight_granularity is Granularity.LAYER
+        assert scheme.psum_granularity is Granularity.COLUMN
+        assert scheme.two_stage
+
+    def test_table1_ours_is_aligned_single_stage(self):
+        scheme = SCHEME_REGISTRY["ours"].scheme
+        assert scheme.weight_granularity is Granularity.COLUMN
+        assert scheme.psum_granularity is Granularity.COLUMN
+        assert scheme.granularity_aligned
+        assert scheme.train_from_scratch and not scheme.two_stage
+        assert scheme.learnable_weight_scale and scheme.learnable_psum_scale
+
+    def test_only_ours_has_aligned_column_granularity(self):
+        aligned_column = [key for key, info in SCHEME_REGISTRY.items()
+                          if info.scheme.weight_granularity is Granularity.COLUMN
+                          and info.scheme.psum_granularity is Granularity.COLUMN]
+        assert aligned_column == ["ours"]
+
+    def test_describe(self):
+        assert "column" in SCHEME_REGISTRY["ours"].describe()
+
+
+class TestHelpers:
+    def test_get_scheme_with_overrides(self):
+        scheme = get_scheme("ours", weight_bits=3, psum_bits=1)
+        assert scheme.weight_bits == 3 and scheme.psum_bits == 1
+        assert scheme.weight_granularity is Granularity.COLUMN
+
+    def test_get_scheme_unknown(self):
+        with pytest.raises(KeyError):
+            get_scheme("unknown")
+
+    def test_related_work_schemes_rebit(self):
+        schemes = related_work_schemes(weight_bits=3, act_bits=3, psum_bits=2)
+        assert set(schemes) == set(SCHEME_REGISTRY)
+        assert all(s.weight_bits == 3 and s.psum_bits == 2 for s in schemes.values())
+
+    def test_all_granularity_combinations(self):
+        combos = all_granularity_combinations()
+        assert len(combos) == 9
+        pairs = {(c.weight_granularity, c.psum_granularity) for c in combos}
+        assert len(pairs) == 9
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows()
+        assert len(rows) == len(SCHEME_REGISTRY)
+        ours = [r for r in rows if "Ours" in r["scheme"]][0]
+        assert ours["weight_granularity"] == "column"
+        assert ours["psum_granularity"] == "column"
+        assert ours["psum_learnable_scale"] == "yes"
+        kim = [r for r in rows if "Kim" in r["scheme"]][0]
+        assert "PTQ" in kim["psum_train_from_scratch"]

@@ -1,0 +1,102 @@
+"""DataLoader batching and augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Compose, DataLoader, Normalize, RandomCrop, RandomHorizontalFlip,
+                        standard_augmentation)
+from repro.data import test_loader as make_test_loader
+from repro.data import train_loader as make_train_loader
+
+
+class TestDataLoader:
+    def _data(self, n=20, classes=4):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(n, 3, 8, 8)), rng.integers(0, classes, size=n)
+
+    def test_batching_covers_all_samples(self):
+        images, labels = self._data(20)
+        loader = DataLoader(images, labels, batch_size=6)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert sum(b[0].shape[0] for b in batches) == 20
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        images, labels = self._data(20)
+        loader = DataLoader(images, labels, batch_size=6, drop_last=True)
+        assert len(loader) == 3
+        assert all(b[0].shape[0] == 6 for b in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        images, labels = self._data(32)
+        loader = DataLoader(images, labels, batch_size=32, shuffle=True, seed=1)
+        (batch_images, batch_labels), = list(loader)
+        assert not np.allclose(batch_images, images)
+        assert sorted(batch_labels.tolist()) == sorted(labels.tolist())
+
+    def test_no_shuffle_keeps_order(self):
+        images, labels = self._data(10)
+        loader = DataLoader(images, labels, batch_size=4, shuffle=False)
+        first_batch = next(iter(loader))
+        np.testing.assert_allclose(first_batch[0], images[:4])
+
+    def test_length_mismatch_raises(self):
+        images, labels = self._data(10)
+        with pytest.raises(ValueError):
+            DataLoader(images, labels[:5])
+
+    def test_invalid_batch_size(self):
+        images, labels = self._data(10)
+        with pytest.raises(ValueError):
+            DataLoader(images, labels, batch_size=0)
+
+    def test_convenience_constructors(self, tiny_dataset):
+        train = make_train_loader(tiny_dataset, batch_size=16)
+        test = make_test_loader(tiny_dataset, batch_size=16)
+        assert train.shuffle and not test.shuffle
+        assert train.num_samples == 64 and test.num_samples == 32
+
+
+class TestTransforms:
+    def test_random_crop_preserves_shape(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(4, 3, 16, 16))
+        out = RandomCrop(padding=2)(batch, rng)
+        assert out.shape == batch.shape
+
+    def test_random_crop_zero_padding_is_identity(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(2, 3, 8, 8))
+        np.testing.assert_allclose(RandomCrop(0)(batch, rng), batch)
+
+    def test_flip_preserves_content_up_to_mirroring(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(8, 3, 4, 4))
+        out = RandomHorizontalFlip(p=1.0)(batch, rng)
+        np.testing.assert_allclose(out, batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero(self):
+        rng = np.random.default_rng(0)
+        batch = rng.normal(size=(4, 3, 4, 4))
+        np.testing.assert_allclose(RandomHorizontalFlip(p=0.0)(batch, rng), batch)
+
+    def test_normalize_fit_and_apply(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(loc=5.0, scale=3.0, size=(100, 3, 4, 4))
+        norm = Normalize().fit(images)
+        out = norm(images, rng)
+        assert abs(out.mean()) < 0.05
+        assert abs(out.std() - 1.0) < 0.05
+
+    def test_normalize_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            Normalize()(np.zeros((1, 3, 2, 2)), np.random.default_rng(0))
+
+    def test_compose_and_standard_augmentation(self):
+        rng = np.random.default_rng(0)
+        batch = np.random.default_rng(1).normal(size=(4, 3, 8, 8))
+        pipeline = standard_augmentation(padding=1)
+        out = pipeline(batch, rng)
+        assert out.shape == batch.shape
+        assert isinstance(pipeline, Compose)

@@ -1,0 +1,74 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSpec, SyntheticImageDataset, make_dataset, synthetic_cifar10, \
+    synthetic_cifar100, synthetic_imagenet
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        data = SyntheticImageDataset(DatasetSpec("t", 5, 16, train_samples=40, test_samples=20))
+        assert data.train_images.shape == (40, 3, 16, 16)
+        assert data.test_images.shape == (20, 3, 16, 16)
+        assert data.train_labels.dtype == np.int64
+        assert data.image_shape == (3, 16, 16)
+        assert data.num_classes == 5
+        assert len(data) == 40
+
+    def test_deterministic_given_seed(self):
+        spec = DatasetSpec("t", 4, 8, train_samples=16, test_samples=8, seed=7)
+        a, b = SyntheticImageDataset(spec), SyntheticImageDataset(spec)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset(DatasetSpec("t", 4, 8, train_samples=16, seed=0))
+        b = SyntheticImageDataset(DatasetSpec("t", 4, 8, train_samples=16, seed=1))
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_labels_cover_classes(self):
+        data = SyntheticImageDataset(DatasetSpec("t", 4, 8, train_samples=400))
+        assert set(np.unique(data.train_labels)) == {0, 1, 2, 3}
+
+    def test_classes_are_separable(self):
+        """Per-class mean images differ far more across classes than noise within."""
+        data = SyntheticImageDataset(DatasetSpec("t", 3, 16, train_samples=300,
+                                                 noise_std=0.1))
+        means = [data.train_images[data.train_labels == c].mean(axis=0) for c in range(3)]
+        between = np.mean([np.abs(means[i] - means[j]).mean()
+                           for i in range(3) for j in range(i + 1, 3)])
+        within = np.mean([np.std(data.train_images[data.train_labels == c], axis=0).mean()
+                          for c in range(3)])
+        assert between > within * 0.5
+
+    def test_subset(self):
+        data = SyntheticImageDataset(DatasetSpec("t", 4, 8, train_samples=64, test_samples=32))
+        small = data.subset(train_samples=10, test_samples=4)
+        assert small.train_images.shape[0] == 10
+        assert small.test_images.shape[0] == 4
+        np.testing.assert_allclose(small.train_images, data.train_images[:10])
+
+
+class TestNamedConstructors:
+    def test_cifar10_defaults(self):
+        data = synthetic_cifar10(image_size=8, train_samples=32, test_samples=16)
+        assert data.num_classes == 10
+        assert data.spec.name == "synthetic-cifar10"
+
+    def test_cifar100_has_100_classes(self):
+        data = synthetic_cifar100(image_size=8, train_samples=16, test_samples=8)
+        assert data.num_classes == 100
+
+    def test_imagenet_configurable(self):
+        data = synthetic_imagenet(image_size=16, num_classes=20, train_samples=16,
+                                  test_samples=8)
+        assert data.num_classes == 20
+        assert data.image_shape == (3, 16, 16)
+
+    def test_make_dataset(self):
+        data = make_dataset("cifar10", image_size=8, train_samples=16, test_samples=8)
+        assert data.num_classes == 10
+        with pytest.raises(KeyError):
+            make_dataset("mnist")

@@ -1,0 +1,123 @@
+"""ResNet architectures: shapes, quantized variants, parameter counts."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.core import cim_layers
+from repro.models import (BasicBlock, LayerFactory, cifar_resnet, imagenet_resnet,
+                          resnet8, resnet18, resnet20)
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def cfg():
+    return CIMConfig(array_rows=64, array_cols=64, cell_bits=2)
+
+
+class TestFullPrecision:
+    def test_resnet20_output_shape(self, rng):
+        model = resnet20(num_classes=10, width_multiplier=0.25)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_resnet20_depth(self):
+        model = resnet20(width_multiplier=0.25)
+        blocks = sum(len(stage) for stage in model.stages)
+        assert blocks == 9                      # 3 stages x 3 blocks
+        # 20 = 1 stem + 18 block convs + 1 fc
+        assert "ResNet" in model.describe()
+
+    def test_resnet18_output_shape(self, rng):
+        model = resnet18(num_classes=20, width_multiplier=0.125)
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 20)
+
+    def test_resnet18_depth(self):
+        model = resnet18(width_multiplier=0.125)
+        assert sum(len(stage) for stage in model.stages) == 8   # 4 stages x 2 blocks
+
+    def test_resnet8_smaller_than_resnet20(self):
+        assert resnet8(width_multiplier=0.5).num_parameters() < \
+            resnet20(width_multiplier=0.5).num_parameters()
+
+    def test_width_multiplier_scales_params(self):
+        small = resnet20(width_multiplier=0.25).num_parameters()
+        large = resnet20(width_multiplier=0.5).num_parameters()
+        assert large > 2 * small
+
+    def test_downsampling_halves_spatial_dims(self, rng):
+        model = resnet20(width_multiplier=0.25)
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)))
+        out = model.stem(x)
+        assert out.shape[-1] == 16
+        out = model.stages[0](out)
+        assert out.shape[-1] == 16
+        out = model.stages[1](out)
+        assert out.shape[-1] == 8
+
+    def test_cifar_resnet_depth_validation(self):
+        with pytest.raises(ValueError):
+            cifar_resnet(depth=21)
+        assert sum(len(s) for s in cifar_resnet(depth=14, width_multiplier=0.25).stages) == 6
+
+    def test_imagenet_resnet_depth_validation(self):
+        with pytest.raises(ValueError):
+            imagenet_resnet(depth=50)
+
+    def test_invalid_stage_config(self):
+        from repro.models.resnet import ResNet
+        with pytest.raises(ValueError):
+            ResNet([2, 2], [16], stem="cifar")
+        with pytest.raises(ValueError):
+            ResNet([2], [16], stem="mobile")
+
+
+class TestQuantized:
+    def test_cim_resnet8_has_cim_layers_everywhere(self, cfg):
+        model = resnet8(num_classes=10, scheme=QuantScheme(), cim_config=cfg,
+                        width_multiplier=0.25)
+        names = [name for name, _ in cim_layers(model)]
+        # stem conv + 3 blocks x (2 convs [+ shortcut]) + fc
+        assert len(names) >= 8
+        assert any("fc" in name for name in names)
+
+    def test_cim_resnet_forward_and_backward(self, rng, cfg):
+        model = resnet8(num_classes=5, scheme=QuantScheme(weight_bits=4, psum_bits=4),
+                        cim_config=cfg, width_multiplier=0.25)
+        out = model(Tensor(rng.normal(size=(2, 3, 12, 12))))
+        assert out.shape == (2, 5)
+        (out * out).sum().backward()
+        grads = [p.grad for p in model.parameters() if p.requires_grad]
+        assert sum(g is not None for g in grads) > len(grads) * 0.9
+
+    def test_first_conv_activation_not_quantized(self, cfg):
+        model = resnet8(scheme=QuantScheme(), cim_config=cfg, width_multiplier=0.25)
+        convs = [layer for _, layer in cim_layers(model) if hasattr(layer, "in_channels")]
+        assert convs[0].act_quant is None
+        assert convs[1].act_quant is not None
+
+    def test_seed_reproducibility(self, cfg):
+        a = resnet8(scheme=QuantScheme(), cim_config=cfg, width_multiplier=0.25, seed=3)
+        b = resnet8(scheme=QuantScheme(), cim_config=cfg, width_multiplier=0.25, seed=3)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_shapes_match(self, rng):
+        factory = LayerFactory()
+        block = BasicBlock(factory, 8, 8, stride=1)
+        out = block(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_projection_shortcut_on_stride(self, rng):
+        factory = LayerFactory()
+        block = BasicBlock(factory, 8, 16, stride=2)
+        out = block(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 16, 3, 3)
+
+    def test_output_nonnegative_after_relu(self, rng):
+        block = BasicBlock(LayerFactory(), 4, 4)
+        out = block(Tensor(rng.normal(size=(2, 4, 5, 5))))
+        assert np.all(out.data >= 0)

@@ -1,0 +1,59 @@
+"""Small CNN / MLP models and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.core import cim_layers
+from repro.models import MLP, SimpleCNN, TinyCNN, available_models, build_model
+from repro.nn import Tensor
+
+
+class TestSimpleModels:
+    def test_simple_cnn_shapes(self, rng):
+        model = SimpleCNN(num_classes=7, channels=(8, 16, 16))
+        out = model(Tensor(rng.normal(size=(3, 3, 16, 16))))
+        assert out.shape == (3, 7)
+
+    def test_tiny_cnn_shapes(self, rng):
+        model = TinyCNN(num_classes=4, width=8)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 4)
+
+    def test_mlp_flattens_images(self, rng):
+        model = MLP(in_features=3 * 8 * 8, num_classes=5, hidden=(32,))
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 5)
+
+    def test_quantized_variants_contain_cim_layers(self):
+        cfg = CIMConfig(array_rows=32, array_cols=32)
+        cnn = SimpleCNN(num_classes=4, channels=(8, 8), scheme=QuantScheme(), cim_config=cfg)
+        assert len(list(cim_layers(cnn))) == 3
+        mlp = MLP(16, 4, hidden=(8,), scheme=QuantScheme(), cim_config=cfg)
+        assert len(list(cim_layers(mlp))) == 2
+
+    def test_backward_through_quantized_simple_cnn(self, rng):
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = SimpleCNN(num_classes=4, channels=(8, 8), scheme=QuantScheme(), cim_config=cfg)
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        (out * out).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert {"resnet20", "resnet18", "resnet8", "simple_cnn", "tiny_cnn", "mlp"} <= set(names)
+
+    def test_build_model_fp(self, rng):
+        model = build_model("tiny_cnn", num_classes=3)
+        assert model(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 3)
+
+    def test_build_model_quantized(self):
+        model = build_model("resnet8", num_classes=4, scheme=QuantScheme(),
+                            cim_config=CIMConfig(array_rows=32), width_multiplier=0.25)
+        assert len(list(cim_layers(model))) > 0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("vgg", num_classes=10)

@@ -1,0 +1,184 @@
+"""Correctness of functional ops: unfold/fold, conv2d, pooling, losses."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, functional as F, gradcheck
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Direct-loop reference convolution."""
+    n, c_in, h, wid = x.shape
+    c_out, _, kh, kw = w.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (wid + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, oh, ow))
+    for b_i in range(n):
+        for oc in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x_pad[b_i, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b_i, oc, i, j] = np.sum(patch * w[oc])
+            if b is not None:
+                out[b_i, oc] += b[oc]
+    return out
+
+
+class TestUnfold:
+    def test_unfold_shape_and_values(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 5, 5)))
+        cols = F.unfold(x, 3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 25)
+        # centre patch of first image equals manual slice
+        manual = np.pad(x.data, ((0, 0), (0, 0), (1, 1), (1, 1)))[0, :, 2:5, 2:5].reshape(-1)
+        col_index = 1 * 5 + 1  # output position (1, 1)
+        np.testing.assert_allclose(cols.data[0, :, col_index + 5 + 1], manual, rtol=1e-12)
+
+    def test_unfold_backward_matches_fold(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        cols = F.unfold(x, 2, stride=2)
+        upstream = rng.normal(size=cols.shape)
+        cols.backward(upstream)
+        expected = F.fold_grad(upstream, x.shape, 2, stride=2)
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_unfold_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        gradcheck(lambda: (F.unfold(x, 3, stride=1, padding=1) ** 2).sum(), [x])
+
+    def test_conv_output_size(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(7, 3, 2, 0) == 3
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        b = Tensor(rng.normal(size=(4,)))
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        ref = naive_conv2d(x.data, w.data, b.data, stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-10, atol=1e-10)
+
+    def test_grouped_matches_per_group_naive(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)))
+        w = Tensor(rng.normal(size=(6, 2, 3, 3)))
+        out = F.conv2d(x, w, None, padding=1, groups=2)
+        ref0 = naive_conv2d(x.data[:, :2], w.data[:3], padding=1)
+        ref1 = naive_conv2d(x.data[:, 2:], w.data[3:], padding=1)
+        np.testing.assert_allclose(out.data, np.concatenate([ref0, ref1], axis=1),
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_group_divisibility_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, groups=2)
+
+    def test_conv_gradcheck_with_bias(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        gradcheck(lambda: (F.conv2d(x, w, b, padding=1) ** 2).sum(), [x, w, b],
+                  atol=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_values(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        out = F.max_pool2d(x, 2)
+        expected = x.data.reshape(1, 2, 2, 2, 2, 2).max(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_avg_pool_values(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        out = F.avg_pool2d(x, 2)
+        expected = x.data.reshape(1, 2, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_max_pool_with_stride_padding(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 7, 7)))
+        out = F.max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_pool_gradchecks(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        gradcheck(lambda: (F.avg_pool2d(x, 2) ** 2).sum(), [x])
+        gradcheck(lambda: (F.max_pool2d(x, 2) ** 2).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(3, 5, 4, 4)))
+        out = F.global_avg_pool2d(x)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)))
+
+
+class TestSoftmaxAndLosses:
+    def test_log_softmax_normalises(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)) * 10)
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), rtol=1e-10)
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5))
+        a = F.log_softmax(Tensor(x)).data
+        b = F.log_softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss = F.cross_entropy(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -np.mean(log_probs[np.arange(6), labels])
+        assert loss == pytest.approx(expected, rel=1e-10)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        labels = rng.integers(0, 5, size=3)
+        gradcheck(lambda: F.cross_entropy(logits, labels), [logits])
+
+    def test_label_smoothing_increases_loss_of_confident_model(self):
+        logits = Tensor(np.array([[10.0, -10.0]]))
+        labels = np.array([0])
+        plain = F.cross_entropy(logits, labels).item()
+        smoothed = F.cross_entropy(logits, labels, label_smoothing=0.2).item()
+        assert smoothed > plain
+
+    def test_nll_loss(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = rng.integers(0, 3, size=4)
+        nll = F.nll_loss(F.log_softmax(logits), labels).item()
+        ce = F.cross_entropy(logits, labels).item()
+        assert nll == pytest.approx(ce, rel=1e-10)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestDropout:
+    def test_identity_in_eval_or_p0(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert F.dropout(x, 0.5, training=False) is x
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.1
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.5, training=True)

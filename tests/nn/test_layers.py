@@ -1,0 +1,114 @@
+"""Layer modules: shapes, gradients, BatchNorm statistics, pooling, dropout."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestLinearConv:
+    def test_linear_shapes_and_bias(self, rng):
+        layer = nn.Linear(6, 4)
+        out = layer(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+        layer_nobias = nn.Linear(6, 4, bias=False)
+        assert layer_nobias.bias is None
+
+    def test_linear_matches_manual(self, rng):
+        layer = nn.Linear(5, 2)
+        x = rng.normal(size=(4, 5))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected, rtol=1e-12)
+
+    def test_conv_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = layer(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_conv_invalid_groups(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+    def test_conv_backward_updates_weight(self, rng):
+        layer = nn.Conv2d(2, 3, 3, padding=1, bias=True)
+        out = layer(Tensor(rng.normal(size=(1, 2, 4, 4))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_extra_repr(self):
+        assert "k=" in nn.Conv2d(1, 2, 3).extra_repr()
+        assert "in=" in nn.Linear(1, 2).extra_repr()
+
+
+class TestActivationsPooling:
+    def test_relu6(self):
+        layer = nn.ReLU6()
+        out = layer(Tensor(np.array([-1.0, 3.0, 9.0])))
+        np.testing.assert_allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_identity_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert nn.Identity()(x) is x
+        assert nn.Flatten()(x).shape == (2, 12)
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.GlobalAvgPool2d()(x).shape == (2, 3)
+
+    def test_dropout_respects_training_flag(self, rng):
+        layer = nn.Dropout(0.5, seed=0)
+        x = Tensor(np.ones((8, 8)))
+        layer.training = True
+        assert np.any(layer(x).data == 0.0)
+        layer.training = False
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(std, np.ones(4), atol=1e-3)
+
+    def test_running_stats_update_and_eval(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(rng.normal(loc=1.0, size=(16, 2, 4, 4)))
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+        bn.eval()
+        out_eval = bn(Tensor(rng.normal(size=(4, 2, 4, 4))))
+        assert out_eval.shape == (4, 2, 4, 4)
+        # eval output uses running stats, so it is deterministic w.r.t. them
+        assert float(bn.num_batches_tracked[0]) == 1.0
+
+    def test_affine_parameters_learnable(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(4, 3, 2, 2)), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_no_affine(self, rng):
+        bn = nn.BatchNorm2d(3, affine=False)
+        assert bn.weight is None
+        out = bn(Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_batchnorm1d_shapes(self, rng):
+        bn = nn.BatchNorm1d(5)
+        assert bn(Tensor(rng.normal(size=(6, 5)))).shape == (6, 5)
+        assert bn(Tensor(rng.normal(size=(6, 5, 3)))).shape == (6, 5, 3)
+
+    def test_gradcheck_small(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(3, 2, 2, 2)), requires_grad=True)
+        nn.gradcheck(lambda: (bn(x) ** 2).sum(), [x, bn.weight, bn.bias], atol=1e-4)

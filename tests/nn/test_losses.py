@@ -1,0 +1,63 @@
+"""Loss modules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)))
+        labels = rng.integers(0, 3, size=5)
+        loss_module = nn.CrossEntropyLoss()(logits, labels).item()
+        loss_functional = F.cross_entropy(logits, labels).item()
+        assert loss_module == pytest.approx(loss_functional)
+
+    def test_perfect_prediction_is_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1])).item()
+        assert loss < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = nn.CrossEntropyLoss()(logits, np.arange(4)).item()
+        assert loss == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_direction(self, rng):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        nn.CrossEntropyLoss()(logits, np.array([1])).backward()
+        # gradient should be negative for the true class, positive otherwise
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+
+class TestMSELoss:
+    def test_value(self, rng):
+        pred = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        target = rng.normal(size=(4, 4))
+        loss = nn.MSELoss()(pred, Tensor(target))
+        assert loss.item() == pytest.approx(np.mean((pred.data - target) ** 2))
+        loss.backward()
+        assert pred.grad is not None
+
+    def test_zero_when_equal(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert nn.MSELoss()(Tensor(x), Tensor(x.copy())).item() == pytest.approx(0.0)
+
+
+class TestKLDistillationLoss:
+    def test_zero_when_identical(self, rng):
+        logits = rng.normal(size=(5, 4))
+        loss = nn.KLDistillationLoss()(Tensor(logits), Tensor(logits.copy()))
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_positive_when_different(self, rng):
+        student = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        teacher = Tensor(rng.normal(size=(5, 4)))
+        loss = nn.KLDistillationLoss(temperature=2.0)(student, teacher)
+        assert loss.item() > 0
+        loss.backward()
+        assert student.grad is not None

@@ -1,0 +1,129 @@
+"""Module registration, traversal, state_dict round-trips, containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Module, ModuleList, Parameter, Sequential, Tensor
+
+
+class Small(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestRegistration:
+    def test_named_parameters_and_modules(self):
+        model = Small()
+        names = dict(model.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names
+        module_names = [name for name, _ in model.named_modules()]
+        assert "" in module_names and "fc1" in module_names
+
+    def test_parameters_count(self):
+        model = Small()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_buffers(self):
+        model = Small()
+        buffers = dict(model.named_buffers())
+        assert "counter" in buffers
+
+    def test_zero_grad(self):
+        model = Small()
+        out = model(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Small()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_apply(self):
+        model = Small()
+        seen = []
+        model.apply(lambda m: seen.append(type(m).__name__))
+        assert "Linear" in seen and "Small" in seen
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model_a, model_b = Small(), Small()
+        state = model_a.state_dict()
+        model_b.load_state_dict(state)
+        for (name_a, p_a), (name_b, p_b) in zip(model_a.named_parameters(),
+                                                model_b.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(p_a.data, p_b.data)
+
+    def test_buffer_round_trip(self):
+        model_a, model_b = Small(), Small()
+        model_a.counter[...] = 7.0
+        model_b.load_state_dict(model_a.state_dict())
+        np.testing.assert_allclose(model_b._buffers["counter"], [7.0])
+
+    def test_shape_mismatch_raises(self):
+        model = Small()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_unknown_key_strict(self):
+        model = Small()
+        state = model.state_dict()
+        state["nonexistent"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+        model.load_state_dict(state, strict=False)  # tolerated
+
+
+class TestContainers:
+    def test_sequential_forward_and_indexing(self, rng):
+        seq = Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+        out = seq(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_sequential_append(self):
+        seq = Sequential(nn.Linear(2, 2))
+        seq.append(nn.ReLU())
+        assert len(seq) == 2
+
+    def test_module_list(self):
+        blocks = ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(blocks) == 3
+        assert len(list(blocks)) == 3
+        with pytest.raises(RuntimeError):
+            blocks(Tensor(np.ones((1, 2))))
+
+    def test_module_list_parameters_registered(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.items = ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+
+            def forward(self, x):
+                for item in self.items:
+                    x = item(x)
+                return x
+
+        holder = Holder()
+        assert len(holder.parameters()) == 4
+        assert holder(Tensor(np.ones((1, 2)))).shape == (1, 2)

@@ -1,0 +1,143 @@
+"""Optimisers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+from repro.nn.lr_scheduler import CosineAnnealingLR, MultiStepLR, StepLR, WarmupCosineLR
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([5.0])
+
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p, target).backward()
+                opt.step()
+            return abs(p.data[0] - 5.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.full(4, 10.0))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.1)
+        # zero gradient -> only decay acts
+        p.grad = np.zeros(4)
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_nesterov_runs(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        quadratic_loss(p, np.ones(2)).backward()
+        opt.step()
+        assert not np.allclose(p.data, 0.0)
+
+    def test_param_groups_with_different_lrs(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([{"params": [a], "lr": 0.1}, {"params": [b], "lr": 0.0}],
+                  lr=0.1, momentum=0.0)
+        a.grad = np.array([1.0])
+        b.grad = np.array([1.0])
+        opt.step()
+        assert a.data[0] != 0.0
+        assert b.data[0] == 0.0
+
+    def test_skip_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set -> no change
+        np.testing.assert_allclose(p.data, np.ones(2))
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.ones(2)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([0.5, -1.5])
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.full(3, 5.0))
+        opt = Adam([p], lr=0.01, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert np.all(np.abs(p.data) < 5.0)
+
+
+class TestSchedulers:
+    def _make(self):
+        p = Parameter(np.zeros(1))
+        return SGD([p], lr=1.0)
+
+    def test_cosine_decays_to_eta_min(self):
+        opt = self._make()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        lrs = [sched.step() for _ in range(11)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.01, abs=1e-6)
+        assert all(lrs[i] >= lrs[i + 1] for i in range(len(lrs) - 1))
+
+    def test_step_lr(self):
+        opt = self._make()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.1)
+        assert lrs[4] == pytest.approx(0.01)
+
+    def test_multistep_lr(self):
+        opt = self._make()
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.5)
+        assert lrs[4] == pytest.approx(0.25)
+
+    def test_warmup_cosine(self):
+        opt = self._make()
+        sched = WarmupCosineLR(opt, warmup_epochs=3, t_max=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < lrs[1] < lrs[2]          # warm-up rises
+        assert lrs[-1] < lrs[3]                  # then decays
+
+    def test_scheduler_scales_all_groups(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([{"params": [a], "lr": 1.0}, {"params": [b], "lr": 0.1}], lr=1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.5)
+        assert opt.param_groups[1]["lr"] == pytest.approx(0.05)

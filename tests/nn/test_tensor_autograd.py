@@ -1,0 +1,105 @@
+"""Graph semantics: accumulation, no_grad, detach, errors."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, is_grad_enabled, no_grad
+
+
+class TestGraph:
+    def test_gradient_accumulates_over_multiple_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a * 3.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2 * 2.0 + 3.0])
+
+    def test_backward_accumulates_across_calls(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a * 2).sum().backward()
+        first = a.grad.copy()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * a).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+        (a * 2).backward(np.ones((2, 2)))
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor(np.ones(2))
+        with pytest.raises(RuntimeError):
+            a.sum().backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2
+        assert is_grad_enabled()
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_and_copy(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data  # shares storage
+        c = a.copy()
+        assert c.data is not a.data
+
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros(4))
+        assert p.requires_grad
+
+    def test_diamond_graph_gradient(self):
+        # f = (a*b) + (a+b); df/da = b + 1, df/db = a + 1
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        b = Tensor(np.array([5.0]), requires_grad=True)
+        ((a * b) + (a + b)).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+        np.testing.assert_allclose(b.grad, [4.0])
+
+    def test_long_chain(self):
+        a = Tensor(np.array([1.5]), requires_grad=True)
+        x = a
+        for _ in range(50):
+            x = x * 1.01
+        x.backward()
+        np.testing.assert_allclose(a.grad, [1.01 ** 50], rtol=1e-10)
+
+    def test_item_and_len_and_repr(self):
+        a = Tensor(np.array([[1.0, 2.0]]))
+        assert len(a) == 1
+        assert "Tensor" in repr(a)
+        assert Tensor(np.array(3.0)).item() == 3.0
+
+    def test_properties(self):
+        a = Tensor(np.zeros((2, 3)))
+        assert a.shape == (2, 3)
+        assert a.ndim == 2
+        assert a.size == 6
+        assert a.T.shape == (3, 2)
+
+    def test_mixed_requires_grad_operands(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0), requires_grad=False)
+        out = (a * b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        assert b.grad is None

@@ -1,0 +1,210 @@
+"""Gradient and value correctness of the Tensor primitives."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, gradcheck
+
+
+def make(shape, rng, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestArithmetic:
+    def test_add_values(self, rng):
+        a, b = make((3, 4), rng), make((3, 4), rng)
+        out = a + b
+        np.testing.assert_allclose(out.data, a.data + b.data)
+
+    def test_add_broadcast_grad(self, rng):
+        a = make((3, 4), rng)
+        b = make((4,), rng)
+        gradcheck(lambda: ((a + b) ** 2).sum(), [a, b])
+
+    def test_sub_and_rsub(self, rng):
+        a = make((2, 3), rng)
+        out = 1.0 - a
+        np.testing.assert_allclose(out.data, 1.0 - a.data)
+        gradcheck(lambda: ((1.0 - a) * (1.0 - a)).sum(), [a])
+
+    def test_mul_broadcast_grad(self, rng):
+        a = make((2, 3, 4), rng)
+        b = make((1, 3, 1), rng)
+        gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_div_grad(self, rng):
+        a = make((3, 3), rng)
+        b = Tensor(np.abs(rng.normal(size=(3, 3))) + 1.0, requires_grad=True)
+        gradcheck(lambda: (a / b).sum(), [a, b])
+
+    def test_rdiv(self, rng):
+        b = Tensor(np.abs(rng.normal(size=(4,))) + 1.0, requires_grad=True)
+        out = 2.0 / b
+        np.testing.assert_allclose(out.data, 2.0 / b.data)
+
+    def test_neg_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        gradcheck(lambda: ((-a) ** 3).sum(), [a])
+
+    def test_pow_non_scalar_exponent_raises(self, rng):
+        a = make((2,), rng)
+        with pytest.raises(TypeError):
+            a ** a  # noqa: B018
+
+    def test_scalar_right_ops(self, rng):
+        a = make((3,), rng)
+        np.testing.assert_allclose((2 + a).data, a.data + 2)
+        np.testing.assert_allclose((2 * a).data, a.data * 2)
+
+    def test_comparison_ops_detached(self, rng):
+        a = make((4,), rng)
+        b = make((4,), rng)
+        mask = a > b
+        assert not mask.requires_grad
+        np.testing.assert_allclose(mask.data, (a.data > b.data).astype(float))
+
+
+class TestElementwise:
+    def test_exp_log_sqrt_abs(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(4, 4))) + 0.5, requires_grad=True)
+        gradcheck(lambda: a.exp().sum(), [a])
+        gradcheck(lambda: a.log().sum(), [a])
+        gradcheck(lambda: a.sqrt().sum(), [a])
+        b = Tensor(rng.normal(size=(4, 4)) + 3.0, requires_grad=True)
+        gradcheck(lambda: b.abs().sum(), [b])
+
+    def test_relu_forward_backward(self, rng):
+        a = make((5, 5), rng)
+        out = a.relu()
+        assert np.all(out.data >= 0)
+        gradcheck(lambda: (a.relu() * a.relu()).sum(), [a])
+
+    def test_sigmoid_tanh(self, rng):
+        a = make((3, 3), rng)
+        gradcheck(lambda: a.sigmoid().sum(), [a])
+        gradcheck(lambda: a.tanh().sum(), [a])
+
+    def test_clamp_values_and_grad_mask(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        out = a.clamp(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, -0.5, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_clamp_one_sided(self, rng):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        np.testing.assert_allclose(a.clamp(low=0.0).data, [0.0, 3.0])
+        np.testing.assert_allclose(a.clamp(high=1.0).data, [-2.0, 1.0])
+
+    def test_round_ste_identity_gradient(self):
+        a = Tensor(np.array([0.2, 0.7, -1.4]), requires_grad=True)
+        out = a.round_ste()
+        np.testing.assert_allclose(out.data, [0.0, 1.0, -1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0, 1.0])
+
+    def test_floor_ste(self):
+        a = Tensor(np.array([0.9, -0.1]), requires_grad=True)
+        out = a.floor_ste()
+        np.testing.assert_allclose(out.data, [0.0, -1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_scale_grad(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = a.scale_grad(0.25)
+        np.testing.assert_allclose(out.data, a.data)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 0.25])
+
+    def test_where_and_maximum_minimum(self, rng):
+        a = make((6,), rng)
+        b = make((6,), rng)
+        cond = a.data > 0
+        out = a.where(cond, b)
+        np.testing.assert_allclose(out.data, np.where(cond, a.data, b.data))
+        gradcheck(lambda: a.maximum(b).sum(), [a, b])
+        gradcheck(lambda: a.minimum(b).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        a = make((2, 3, 4), rng)
+        np.testing.assert_allclose(a.sum().data, a.data.sum())
+        np.testing.assert_allclose(a.sum(axis=1).data, a.data.sum(axis=1))
+        np.testing.assert_allclose(a.sum(axis=(0, 2), keepdims=True).data,
+                                   a.data.sum(axis=(0, 2), keepdims=True))
+        gradcheck(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), [a])
+
+    def test_mean_and_var(self, rng):
+        a = make((3, 5), rng)
+        np.testing.assert_allclose(a.mean(axis=0).data, a.data.mean(axis=0))
+        np.testing.assert_allclose(a.var(axis=1).data, a.data.var(axis=1), rtol=1e-10)
+        gradcheck(lambda: a.var(axis=0).sum(), [a])
+
+    def test_max_min(self, rng):
+        a = make((4, 6), rng)
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+        np.testing.assert_allclose(a.min(axis=0).data, a.data.min(axis=0))
+        gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapes:
+    def test_reshape_transpose(self, rng):
+        a = make((2, 3, 4), rng)
+        gradcheck(lambda: (a.reshape(6, 4).transpose() ** 2).sum(), [a])
+
+    def test_swapaxes_expand_squeeze(self, rng):
+        a = make((2, 1, 3), rng)
+        assert a.swapaxes(0, 2).shape == (3, 1, 2)
+        assert a.squeeze(1).shape == (2, 3)
+        assert a.expand_dims(0).shape == (1, 2, 1, 3)
+        gradcheck(lambda: (a.squeeze(1).expand_dims(2) ** 2).sum(), [a])
+
+    def test_broadcast_to(self, rng):
+        a = make((1, 3), rng)
+        out = a.broadcast_to((4, 3))
+        assert out.shape == (4, 3)
+        gradcheck(lambda: (a.broadcast_to((4, 3)) ** 2).sum(), [a])
+
+    def test_pad_and_getitem(self, rng):
+        a = make((2, 3), rng)
+        padded = a.pad(((1, 1), (0, 2)), value=0.0)
+        assert padded.shape == (4, 5)
+        gradcheck(lambda: (a.pad(((1, 1), (0, 2))) ** 2).sum(), [a])
+        gradcheck(lambda: (a[0:1, 1:] ** 2).sum(), [a])
+
+    def test_concatenate_and_stack(self, rng):
+        a, b = make((2, 3), rng), make((2, 3), rng)
+        cat = Tensor.concatenate([a, b], axis=0)
+        assert cat.shape == (4, 3)
+        stacked = Tensor.stack([a, b], axis=1)
+        assert stacked.shape == (2, 2, 3)
+        gradcheck(lambda: (Tensor.concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a, b = make((3, 4), rng), make((4, 5), rng)
+        np.testing.assert_allclose(a.matmul(b).data, a.data @ b.data)
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_cases(self, rng):
+        a, b = make((4,), rng), make((4,), rng)
+        gradcheck(lambda: a.matmul(b), [a, b])
+        m = make((4, 5), rng)
+        gradcheck(lambda: a.matmul(m).sum(), [a, m])
+        gradcheck(lambda: (m.transpose().matmul(a) ** 2).sum(), [a, m])
+
+    def test_batched_broadcast(self, rng):
+        a = make((2, 1, 3, 4), rng)
+        b = make((5, 4, 6), rng)
+        out = a.matmul(b)
+        assert out.shape == (2, 5, 3, 6)
+        gradcheck(lambda: (a.matmul(b) ** 2).sum(), [a, b])

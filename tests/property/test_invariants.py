@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cim import CIMConfig, build_mapping, dequant_mults_per_layer
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.quant import (BitSplitConfig, Granularity, fake_quantize, merge_splits,
+                         quant_range, split_signed, weight_scale_shape)
+
+
+# --------------------------------------------------------------------- #
+# bit-splitting
+# --------------------------------------------------------------------- #
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    cell=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_bitsplit_roundtrip_exact(bits, cell, data):
+    """merge(split(w)) == w for every weight in range and every configuration."""
+    cell = min(cell, bits)
+    cfg = BitSplitConfig(bits, cell)
+    shape = data.draw(st.tuples(st.integers(1, 4), st.integers(1, 4)))
+    values = data.draw(hnp.arrays(np.int64, shape,
+                                  elements=st.integers(-(2 ** (bits - 1)),
+                                                       2 ** (bits - 1) - 1)))
+    splits = split_signed(values, cfg)
+    np.testing.assert_array_equal(merge_splits(splits, cfg), values)
+    # every non-top slice must be storable in an unsigned cell
+    assert splits[:-1].min(initial=0) >= 0
+    assert splits.max(initial=0) <= 2 ** cell - 1
+
+
+# --------------------------------------------------------------------- #
+# uniform quantization
+# --------------------------------------------------------------------- #
+@given(
+    bits=st.integers(min_value=2, max_value=8),
+    scale=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    values=hnp.arrays(np.float64, st.integers(1, 64),
+                      elements=st.floats(-50, 50, allow_nan=False)),
+)
+@settings(max_examples=60, deadline=None)
+def test_fake_quantize_error_bounded_by_half_step(bits, scale, values):
+    """Inside the representable range the error is at most scale/2."""
+    out = fake_quantize(values, scale, bits, signed=True)
+    rng = quant_range(bits, signed=True)
+    inside = (values >= rng.qmin * scale) & (values <= rng.qmax * scale)
+    assert np.all(np.abs(out[inside] - values[inside]) <= scale / 2 + 1e-9)
+    # outputs always lie on the quantization grid
+    codes = out / scale
+    np.testing.assert_allclose(codes, np.round(codes), atol=1e-6)
+
+
+@given(values=hnp.arrays(np.float64, st.integers(1, 128),
+                         elements=st.floats(-20, 20, allow_nan=False)),
+       scale=st.floats(min_value=1e-2, max_value=5.0))
+@settings(max_examples=40, deadline=None)
+def test_fake_quantize_idempotent(values, scale):
+    once = fake_quantize(values, scale, 4)
+    twice = fake_quantize(once, scale, 4)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# tiling
+# --------------------------------------------------------------------- #
+@given(
+    in_channels=st.integers(min_value=1, max_value=128),
+    out_channels=st.integers(min_value=1, max_value=128),
+    kernel=st.sampled_from([1, 3, 5]),
+    array_rows=st.sampled_from([16, 32, 64, 128, 256]),
+    weight_bits=st.integers(min_value=1, max_value=8),
+    cell_bits=st.integers(min_value=1, max_value=4),
+    strategy=st.sampled_from(["kernel_preserving", "im2col"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_tiling_partitions_all_rows_exactly_once(in_channels, out_channels, kernel,
+                                                 array_rows, weight_bits, cell_bits,
+                                                 strategy):
+    cell_bits = min(cell_bits, weight_bits)
+    cfg = CIMConfig(array_rows=array_rows, array_cols=array_rows, cell_bits=cell_bits)
+    mapping = build_mapping(in_channels, out_channels, (kernel, kernel), weight_bits,
+                            cfg, strategy=strategy)
+    covered = []
+    for tile in mapping.tiles:
+        assert 0 < tile.rows <= mapping.rows_per_array <= array_rows
+        covered.extend(range(tile.row_start, tile.row_stop))
+    assert covered == list(range(in_channels * kernel * kernel))
+    assert mapping.n_arrays >= mapping.n_arrays_row
+    assert mapping.col_tiles >= 1
+
+
+# --------------------------------------------------------------------- #
+# dequantization overhead ordering (Fig. 8)
+# --------------------------------------------------------------------- #
+@given(n_arrays=st.integers(1, 64), noc=st.integers(1, 512), n_splits=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_dequant_overhead_monotone_in_granularity(n_arrays, noc, n_splits):
+    layer = dequant_mults_per_layer(Granularity.LAYER, n_arrays, noc, n_splits)
+    array = dequant_mults_per_layer(Granularity.ARRAY, n_arrays, noc, n_splits)
+    column = dequant_mults_per_layer(Granularity.COLUMN, n_arrays, noc, n_splits)
+    assert layer == 1
+    assert layer <= array <= column
+    assert column == n_splits * array
+
+
+# --------------------------------------------------------------------- #
+# scale-shape consistency
+# --------------------------------------------------------------------- #
+@given(n_arrays=st.integers(1, 16), oc=st.integers(1, 64),
+       granularity=st.sampled_from(list(Granularity)))
+@settings(max_examples=40, deadline=None)
+def test_weight_scale_shape_broadcasts_over_tiled_weight(n_arrays, oc, granularity):
+    shape = weight_scale_shape(granularity, n_arrays, oc)
+    tiled = np.zeros((n_arrays, 7, oc))
+    broadcast = np.broadcast_shapes(shape, tiled.shape)
+    assert broadcast == tiled.shape
+
+
+# --------------------------------------------------------------------- #
+# unfold / fold adjointness
+# --------------------------------------------------------------------- #
+@given(
+    batch=st.integers(1, 2), channels=st.integers(1, 3),
+    size=st.integers(4, 8), kernel=st.sampled_from([2, 3]),
+    stride=st.sampled_from([1, 2]), padding=st.sampled_from([0, 1]),
+    seed=st.integers(0, 2 ** 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_unfold_backward_is_adjoint_of_forward(batch, channels, size, kernel, stride,
+                                               padding, seed):
+    """<unfold(x), y> == <x, unfold^T(y)> — the defining property of col2im."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(batch, channels, size, size)), requires_grad=True)
+    cols = F.unfold(x, kernel, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols.data * y))
+    cols.backward(y)
+    rhs = float(np.sum(x.data * x.grad))
+    assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))
+
+
+# --------------------------------------------------------------------- #
+# LSQ scale positivity after initialisation
+# --------------------------------------------------------------------- #
+@given(values=hnp.arrays(np.float64, st.integers(4, 256),
+                         elements=st.floats(-100, 100, allow_nan=False)),
+       bits=st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_lsq_init_scale_always_positive(values, bits):
+    from repro.quant import LSQQuantizer
+    quant = LSQQuantizer(bits)
+    quant.initialize_from(values)
+    assert np.all(quant.scale.data > 0)

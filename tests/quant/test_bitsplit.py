@@ -1,0 +1,89 @@
+"""Weight bit-splitting: reconstruction invariant, ranges, STE behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.quant import (BitSplitConfig, merge_splits, num_splits, split_ranges,
+                         split_signed, split_tensor_ste)
+
+
+class TestConfig:
+    def test_num_splits(self):
+        assert num_splits(4, 2) == 2
+        assert num_splits(3, 2) == 2
+        assert num_splits(3, 3) == 1
+        assert num_splits(8, 1) == 8
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            BitSplitConfig(0, 1)
+        with pytest.raises(ValueError):
+            BitSplitConfig(2, 3)
+
+    def test_shift_factors(self):
+        cfg = BitSplitConfig(4, 2)
+        np.testing.assert_allclose(cfg.shift_factors, [1.0, 4.0])
+
+    def test_top_bits(self):
+        assert BitSplitConfig(3, 2).top_bits == 1
+        assert BitSplitConfig(4, 2).top_bits == 2
+        assert BitSplitConfig(3, 3).top_bits == 3
+
+
+class TestSplitMerge:
+    @pytest.mark.parametrize("bits,cell", [(4, 2), (3, 2), (3, 3), (8, 1), (3, 1), (2, 2), (6, 4)])
+    def test_roundtrip_full_range(self, bits, cell):
+        cfg = BitSplitConfig(bits, cell)
+        values = np.arange(-(2 ** (bits - 1)), 2 ** (bits - 1))
+        splits = split_signed(values, cfg)
+        np.testing.assert_array_equal(merge_splits(splits, cfg), values)
+
+    def test_split_values_within_declared_ranges(self, rng):
+        cfg = BitSplitConfig(5, 2)
+        values = rng.integers(-16, 16, size=(10, 10))
+        splits = split_signed(values, cfg)
+        for slice_values, (lo, hi) in zip(splits, split_ranges(cfg)):
+            assert slice_values.min() >= lo
+            assert slice_values.max() <= hi
+
+    def test_lower_slices_unsigned(self, rng):
+        cfg = BitSplitConfig(6, 2)
+        splits = split_signed(rng.integers(-32, 32, size=100), cfg)
+        assert np.all(splits[:-1] >= 0)
+
+    def test_out_of_range_raises(self):
+        cfg = BitSplitConfig(3, 2)
+        with pytest.raises(ValueError):
+            split_signed(np.array([10]), cfg)
+
+    def test_shape_preserved(self, rng):
+        cfg = BitSplitConfig(4, 2)
+        values = rng.integers(-8, 8, size=(2, 3, 4))
+        assert split_signed(values, cfg).shape == (2, 2, 3, 4)
+
+
+class TestSTE:
+    def test_forward_matches_split_signed(self, rng):
+        cfg = BitSplitConfig(4, 2)
+        values = rng.integers(-8, 8, size=(3, 5)).astype(float)
+        t = Tensor(values, requires_grad=True)
+        out = split_tensor_ste(t, cfg)
+        np.testing.assert_array_equal(out.data, split_signed(values, cfg))
+
+    def test_backward_preserves_total_gradient_magnitude(self, rng):
+        """sum_j 2^{jc} * dsplit_j/dw == 1 so shift-added gradients equal upstream."""
+        cfg = BitSplitConfig(4, 2)
+        values = rng.integers(-8, 8, size=(6,)).astype(float)
+        t = Tensor(values, requires_grad=True)
+        splits = split_tensor_ste(t, cfg)
+        shifts = Tensor(cfg.shift_factors.reshape(-1, 1))
+        (splits * shifts).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+    def test_backward_without_shift_distributes_equally(self, rng):
+        cfg = BitSplitConfig(4, 2)
+        t = Tensor(np.zeros(3), requires_grad=True)
+        split_tensor_ste(t, cfg).sum().backward()
+        expected = sum(2.0 ** (-j * 2) / 2 for j in range(2))
+        np.testing.assert_allclose(t.grad, np.full(3, expected))

@@ -1,0 +1,84 @@
+"""Uniform fake-quantization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.quant import (fake_quantize, fake_quantize_tensor, quant_range,
+                         quantization_error, quantize_to_int)
+
+
+class TestQuantRange:
+    def test_signed_ranges(self):
+        assert quant_range(4, signed=True).qmin == -8
+        assert quant_range(4, signed=True).qmax == 7
+        assert quant_range(2, signed=True).n_levels == 4
+
+    def test_unsigned_ranges(self):
+        rng = quant_range(3, signed=False)
+        assert (rng.qmin, rng.qmax) == (0, 7)
+
+    def test_binary_signed_special_case(self):
+        rng = quant_range(1, signed=True)
+        assert (rng.qmin, rng.qmax) == (-1, 1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quant_range(0)
+
+    def test_clamp(self):
+        rng = quant_range(3, signed=True)
+        np.testing.assert_allclose(rng.clamp(np.array([-10, 0, 10])), [-4, 0, 3])
+
+
+class TestFakeQuantize:
+    def test_roundtrip_on_grid_points_is_exact(self):
+        scale = 0.5
+        values = np.array([-2.0, -0.5, 0.0, 1.0, 1.5])
+        out = fake_quantize(values, scale, bits=4, signed=True)
+        np.testing.assert_allclose(out, values)
+
+    def test_clipping(self):
+        out = fake_quantize(np.array([100.0, -100.0]), 1.0, bits=4, signed=True)
+        np.testing.assert_allclose(out, [7.0, -8.0])
+
+    def test_quantize_to_int_values(self):
+        codes = quantize_to_int(np.array([0.24, 0.26, -0.9]), 0.5, bits=4)
+        np.testing.assert_allclose(codes, [0.0, 1.0, -2.0])
+
+    def test_error_decreases_with_bits(self, rng):
+        values = rng.normal(size=1000)
+        errors = [quantization_error(values, values.std() / (2 ** (b - 1)), b)
+                  for b in (2, 4, 6, 8)]
+        assert all(errors[i] > errors[i + 1] for i in range(len(errors) - 1))
+
+    def test_unsigned_never_negative(self, rng):
+        values = np.abs(rng.normal(size=100))
+        out = fake_quantize(values, 0.1, bits=3, signed=False)
+        assert np.all(out >= 0)
+
+
+class TestFakeQuantizeTensor:
+    def test_forward_matches_numpy(self, rng):
+        values = rng.normal(size=(4, 4))
+        out = fake_quantize_tensor(Tensor(values), 0.3, bits=4)
+        np.testing.assert_allclose(out.data, fake_quantize(values, 0.3, 4))
+
+    def test_ste_gradient_inside_range(self):
+        x = Tensor(np.array([0.1, 0.2]), requires_grad=True)
+        fake_quantize_tensor(x, 0.5, bits=4).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_gradient_zero_outside_range(self):
+        x = Tensor(np.array([100.0]), requires_grad=True)
+        fake_quantize_tensor(x, 0.5, bits=4).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0])
+
+    def test_per_group_scale_broadcast(self, rng):
+        x = Tensor(rng.normal(size=(3, 8)))
+        scales = np.array([[0.1], [0.2], [0.4]])
+        out = fake_quantize_tensor(x, scales, bits=4)
+        assert out.shape == (3, 8)
+        for row in range(3):
+            np.testing.assert_allclose(out.data[row],
+                                       fake_quantize(x.data[row], scales[row, 0], 4))

@@ -1,0 +1,57 @@
+"""Granularity enum and scale-shape helpers."""
+
+import pytest
+
+from repro.quant import (Granularity, finer, psum_group_size, psum_scale_shape,
+                         weight_group_size, weight_scale_shape)
+
+
+class TestGranularity:
+    def test_parse_strings(self):
+        assert Granularity.parse("layer") is Granularity.LAYER
+        assert Granularity.parse("Array") is Granularity.ARRAY
+        assert Granularity.parse("COLUMN") is Granularity.COLUMN
+        assert Granularity.parse(Granularity.COLUMN) is Granularity.COLUMN
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            Granularity.parse("row")
+        with pytest.raises(TypeError):
+            Granularity.parse(3)
+
+    def test_finer(self):
+        assert finer(Granularity.LAYER, Granularity.COLUMN) is Granularity.COLUMN
+        assert finer(Granularity.ARRAY, Granularity.LAYER) is Granularity.ARRAY
+
+    def test_is_finer_than_layer(self):
+        assert not Granularity.LAYER.is_finer_than_layer
+        assert Granularity.COLUMN.is_finer_than_layer
+
+
+class TestScaleShapes:
+    def test_weight_scale_shapes(self):
+        assert weight_scale_shape("layer", 4, 16) == (1, 1, 1)
+        assert weight_scale_shape("array", 4, 16) == (4, 1, 1)
+        assert weight_scale_shape("column", 4, 16) == (4, 1, 16)
+
+    def test_psum_scale_shapes(self):
+        assert psum_scale_shape("layer", 2, 4, 16) == (1, 1, 1, 1, 1)
+        assert psum_scale_shape("array", 2, 4, 16) == (2, 4, 1, 1, 1)
+        assert psum_scale_shape("column", 2, 4, 16) == (2, 4, 1, 1, 16)
+
+    def test_group_sizes_partition_elements(self):
+        n_arrays, rows, oc = 3, 32, 8
+        total = n_arrays * rows * oc
+        for granularity, expected_groups in [("layer", 1), ("array", n_arrays),
+                                             ("column", n_arrays * oc)]:
+            shape = weight_scale_shape(granularity, n_arrays, oc)
+            n_groups = shape[0] * shape[1] * shape[2]
+            assert n_groups == expected_groups
+            assert weight_group_size(granularity, n_arrays, rows, oc) * n_groups == total
+
+    def test_psum_group_sizes(self):
+        splits, arrays, oc, samples = 2, 3, 8, 10
+        total = splits * arrays * oc * samples
+        assert psum_group_size("layer", splits, arrays, oc, samples) == total
+        assert psum_group_size("array", splits, arrays, oc, samples) == oc * samples
+        assert psum_group_size("column", splits, arrays, oc, samples) == samples

@@ -1,0 +1,135 @@
+"""LSQ quantizer: initialisation, STE forward, scale gradients, granularities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, gradcheck
+from repro.quant import LSQQuantizer, lsq_init_scale
+from repro.quant.fake_quant import quant_range
+
+
+class TestInitialisation:
+    def test_init_scale_rule(self, rng):
+        values = rng.normal(size=(100,))
+        scale = lsq_init_scale(values, qmax=7, group_shape=(1,))
+        expected = 2 * np.mean(np.abs(values)) / math.sqrt(7)
+        assert scale.reshape(()) == pytest.approx(expected)
+
+    def test_init_per_group(self, rng):
+        values = rng.normal(size=(4, 10)) * np.array([[1.0], [2.0], [4.0], [8.0]])
+        scale = lsq_init_scale(values, qmax=7, group_shape=(4, 1))
+        assert scale.shape == (4, 1)
+        assert np.all(np.diff(scale[:, 0]) > 0)  # larger groups -> larger scales
+
+    def test_quantizer_initialises_on_first_forward(self, rng):
+        quant = LSQQuantizer(4, signed=True, scale_shape=(1,))
+        assert not quant.is_initialized()
+        quant(Tensor(rng.normal(size=(10,))))
+        assert quant.is_initialized()
+        assert quant.scale.data[0] > 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LSQQuantizer(0)
+
+    def test_rank_mismatch_raises(self, rng):
+        quant = LSQQuantizer(4, scale_shape=(2, 1, 1, 1))
+        with pytest.raises(ValueError):
+            quant(Tensor(rng.normal(size=(4, 4))))
+
+
+class TestForward:
+    def test_output_on_quant_grid(self, rng):
+        quant = LSQQuantizer(4, signed=True)
+        x = Tensor(rng.normal(size=(64,)))
+        out = quant(x)
+        scale = quant.scale.data.reshape(())
+        codes = out.data / scale
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-9)
+        assert codes.min() >= quant.qmin and codes.max() <= quant.qmax
+
+    def test_unsigned_clamps_negative_to_zero(self):
+        quant = LSQQuantizer(4, signed=False)
+        out = quant(Tensor(np.array([-1.0, 0.5, 2.0])))
+        assert np.all(out.data >= 0)
+
+    def test_quantize_int_consistent_with_forward(self, rng):
+        quant = LSQQuantizer(4)
+        x = Tensor(rng.normal(size=(32,)))
+        fake = quant(x)
+        codes, scale = quant.quantize_int(x)
+        np.testing.assert_allclose(codes.data * scale.data, fake.data, atol=1e-12)
+
+    def test_per_column_scales_are_independent(self, rng):
+        # columns with very different magnitudes get very different scales
+        data = rng.normal(size=(2, 1, 3)) * np.array([0.1, 1.0, 10.0]).reshape(1, 1, 3)
+        quant = LSQQuantizer(4, scale_shape=(1, 1, 3))
+        quant(Tensor(np.broadcast_to(data, (2, 5, 3)).copy()))
+        scales = quant.scale.data.reshape(3)
+        assert scales[0] < scales[1] < scales[2]
+
+
+class TestGradients:
+    def test_lsq_scale_gradient_formula(self):
+        """The composite STE graph must reproduce the analytic LSQ gradient."""
+        scale_value = 0.5
+        for value, expected in [
+            (0.3, round(0.3 / 0.5) - 0.3 / 0.5),   # inside range
+            (10.0, 7.0),                            # clipped high -> Qp
+            (-10.0, -8.0),                          # clipped low  -> Qn
+        ]:
+            quant = LSQQuantizer(4, signed=True, grad_scale_override=1.0)
+            quant.scale.data = np.array([scale_value])
+            quant.initialized[...] = 1.0
+            x = Tensor(np.array([value]), requires_grad=True)
+            out = quant(x)
+            out.sum().backward()
+            assert quant.scale.grad[0] == pytest.approx(expected, abs=1e-9)
+
+    def test_input_gradient_is_ste_mask(self):
+        quant = LSQQuantizer(4, grad_scale_override=1.0)
+        quant.scale.data = np.array([1.0])
+        quant.initialized[...] = 1.0
+        x = Tensor(np.array([0.4, 100.0, -100.0]), requires_grad=True)
+        quant(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 0.0])
+
+    def test_grad_scale_reduces_scale_gradient(self, rng):
+        x_data = rng.normal(size=(1000,))
+        grads = []
+        for override in (1.0, 0.01):
+            quant = LSQQuantizer(4, grad_scale_override=override)
+            x = Tensor(x_data, requires_grad=True)
+            quant(x).sum().backward()
+            grads.append(abs(quant.scale.grad[0]))
+        assert grads[1] < grads[0]
+
+    def test_default_grad_scale_follows_group_size(self, rng):
+        quant = LSQQuantizer(4)
+        quant.initialize_from(rng.normal(size=(100,)))
+        expected = 1.0 / math.sqrt(100 * 7)
+        assert quant.grad_scale_for(Tensor(np.zeros(100))) == pytest.approx(expected)
+
+    def test_column_scale_gradients_flow_per_group(self, rng):
+        quant = LSQQuantizer(4, scale_shape=(1, 1, 4))
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        quant(x).sum().backward()
+        assert quant.scale.grad.shape == (1, 1, 4)
+        # each column's scale gradient only depends on that column; perturbing
+        # one column's data must leave the others' gradients unchanged
+        grad_before = quant.scale.grad.copy()
+        quant.scale.grad = None
+        x2 = Tensor(np.concatenate([x.data[:, :, :3], x.data[:, :, 3:] * 5], axis=2),
+                    requires_grad=True)
+        quant(x2).sum().backward()
+        np.testing.assert_allclose(quant.scale.grad[0, 0, :3], grad_before[0, 0, :3])
+
+
+class TestErrorMetric:
+    def test_quantization_error_positive_and_small_for_many_bits(self, rng):
+        values = rng.normal(size=512)
+        q8 = LSQQuantizer(8)
+        q2 = LSQQuantizer(2)
+        assert q8.quantization_error(values) < q2.quantization_error(values)

@@ -1,0 +1,74 @@
+"""PTQ calibration observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import MeanAbsObserver, MinMaxObserver, PercentileObserver
+
+
+class TestMinMax:
+    def test_scale_covers_max(self, rng):
+        obs = MinMaxObserver(bits=4, signed=True)
+        values = rng.normal(size=1000) * 3.0
+        obs.observe(values)
+        scale = obs.compute_scale().reshape(())
+        assert scale * 7 >= np.abs(values).max() - 1e-9
+
+    def test_running_max_across_batches(self, rng):
+        obs = MinMaxObserver(bits=4)
+        obs.observe(np.array([1.0]))
+        obs.observe(np.array([10.0]))
+        assert obs.compute_scale().reshape(()) == pytest.approx(10.0 / 7)
+
+    def test_unsigned_uses_max_only(self):
+        obs = MinMaxObserver(bits=3, signed=False)
+        obs.observe(np.array([0.0, 2.0, 7.0]))
+        assert obs.compute_scale().reshape(()) == pytest.approx(1.0)
+
+    def test_per_group(self, rng):
+        obs = MinMaxObserver(bits=4, group_shape=(2, 1))
+        obs.observe(np.array([[1.0, 2.0], [10.0, 20.0]]))
+        scale = obs.compute_scale()
+        assert scale.shape == (2, 1)
+        assert scale[1, 0] > scale[0, 0]
+
+    def test_unobserved_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver(4).compute_scale()
+
+    def test_incompatible_group_shape_raises(self):
+        obs = MinMaxObserver(4, group_shape=(2, 1, 1, 1))
+        with pytest.raises(ValueError):
+            obs.observe(np.zeros((3, 3)))
+
+
+class TestPercentile:
+    def test_clips_outliers(self, rng):
+        values = rng.normal(size=10000)
+        values[0] = 1000.0
+        minmax = MinMaxObserver(bits=4)
+        minmax.observe(values)
+        pct = PercentileObserver(bits=4, percentile=99.0)
+        pct.observe(values)
+        assert pct.compute_scale().reshape(()) < minmax.compute_scale().reshape(())
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(4, percentile=0.0)
+
+
+class TestMeanAbs:
+    def test_matches_lsq_init_rule(self, rng):
+        values = rng.normal(size=5000)
+        obs = MeanAbsObserver(bits=4, signed=True)
+        obs.observe(values)
+        expected = 2 * np.mean(np.abs(values)) / np.sqrt(7)
+        assert obs.compute_scale().reshape(()) == pytest.approx(expected, rel=1e-6)
+
+    def test_accumulates_across_batches(self, rng):
+        a, b = rng.normal(size=100), rng.normal(size=100)
+        obs = MeanAbsObserver(bits=4)
+        obs.observe(a)
+        obs.observe(b)
+        expected = 2 * np.mean(np.abs(np.concatenate([a, b]))) / np.sqrt(7)
+        assert obs.compute_scale().reshape(()) == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,106 @@
+"""End-to-end integration tests across the whole library.
+
+These are the most expensive tests in the suite (a few seconds each): they
+train tiny models end to end and check the cross-module contracts the paper's
+experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_experiment_model, build_loaders
+from repro.cim import CIMConfig, QuantScheme, VariationModel
+from repro.core import (apply_variation, cim_layers, get_scheme, model_overhead,
+                        set_psum_quant_enabled)
+from repro.data import SyntheticImageDataset, DatasetSpec
+from repro.data import test_loader as make_test_loader
+from repro.data import train_loader as make_train_loader
+from repro.models import TinyCNN
+from repro.training import (QATTrainer, TrainerConfig, evaluate, reduced_experiment,
+                            train_two_stage)
+
+
+@pytest.fixture(scope="module")
+def easy_task():
+    """A small, very separable task so tiny models reach high accuracy quickly."""
+    dataset = SyntheticImageDataset(DatasetSpec(
+        name="easy", num_classes=3, image_size=8, train_samples=120, test_samples=60,
+        noise_std=0.15, seed=5))
+    return (make_train_loader(dataset, batch_size=20, seed=0),
+            make_test_loader(dataset, batch_size=60))
+
+
+class TestEndToEndQAT:
+    def test_quantized_model_learns_the_task(self, easy_task):
+        train, test = easy_task
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        scheme = QuantScheme(weight_bits=4, act_bits=4, psum_bits=4)
+        model = TinyCNN(num_classes=3, width=8, scheme=scheme, cim_config=cfg, seed=0)
+        history = QATTrainer(model, train, test, TrainerConfig(epochs=6, lr=0.05)).fit()
+        assert history.best_test_accuracy > 0.55      # well above 33% chance
+
+    def test_one_stage_vs_two_stage_both_learn(self, easy_task):
+        train, test = easy_task
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        one_stage = TinyCNN(num_classes=3, width=8, seed=0,
+                            scheme=QuantScheme(weight_granularity="column",
+                                               psum_granularity="column"),
+                            cim_config=cfg)
+        QATTrainer(one_stage, train, test, TrainerConfig(epochs=4, lr=0.05)).fit()
+        two_stage = TinyCNN(num_classes=3, width=8, seed=0,
+                            scheme=QuantScheme(weight_granularity="layer",
+                                               psum_granularity="column"),
+                            cim_config=cfg)
+        train_two_stage(two_stage, train, test, stage1_epochs=3, stage2_epochs=1, lr=0.05)
+        acc_one = evaluate(one_stage, test)["top1"]
+        acc_two = evaluate(two_stage, test)["top1"]
+        assert acc_one > 0.4 and acc_two > 0.4
+
+    def test_variation_monotonically_degrades_trained_model(self, easy_task):
+        train, test = easy_task
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = TinyCNN(num_classes=3, width=8, scheme=QuantScheme(), cim_config=cfg, seed=0)
+        QATTrainer(model, train, test, TrainerConfig(epochs=5, lr=0.05)).fit()
+        clean = evaluate(model, test)["top1"]
+        apply_variation(model, VariationModel(sigma=1.5, seed=0))
+        noisy = evaluate(model, test)["top1"]
+        apply_variation(model, None)
+        assert noisy <= clean + 0.05                   # extreme noise cannot help
+
+    def test_psum_quant_toggle_affects_eval(self, easy_task):
+        train, test = easy_task
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = TinyCNN(num_classes=3, width=8, seed=0,
+                        scheme=QuantScheme(psum_bits=1), cim_config=cfg)
+        QATTrainer(model, train, test, TrainerConfig(epochs=2, lr=0.05)).fit()
+        with_psq = model(next(iter(test))[0] if False else None) if False else None
+        x = np.abs(np.random.default_rng(0).normal(size=(4, 3, 8, 8)))
+        from repro.nn import Tensor
+        out_q = model(Tensor(x)).data.copy()
+        set_psum_quant_enabled(model, False)
+        out_fp = model(Tensor(x)).data
+        assert not np.allclose(out_q, out_fp)
+
+
+class TestExperimentPipeline:
+    def test_reduced_experiment_end_to_end(self):
+        config = reduced_experiment("cifar10", tiny=True)
+        train, test = build_loaders(config, augment=False)
+        scheme = config.scheme("column", "column")
+        model = build_experiment_model(config, scheme)
+        history = QATTrainer(model, train, test,
+                             TrainerConfig(epochs=1, lr=config.lr)).fit()
+        assert history.epochs == 1
+        # every CIM layer saw data and initialised its quantizers
+        for _name, layer in cim_layers(model):
+            assert layer.weight_quant.is_initialized()
+            assert layer.psum_quant.is_initialized()
+
+    def test_overhead_report_consistent_with_paper_ordering(self):
+        config = reduced_experiment("cifar10", tiny=True)
+        model = build_experiment_model(config, config.scheme("column", "column"))
+        overhead_column = sum(o.multiplications
+                              for o in model_overhead(model, get_scheme("ours")).values())
+        overhead_layer = sum(o.multiplications
+                             for o in model_overhead(model, get_scheme("kim")).values())
+        assert overhead_layer < overhead_column

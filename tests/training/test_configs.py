@@ -1,0 +1,79 @@
+"""Experiment configurations (Table II)."""
+
+import pytest
+
+from repro.quant import Granularity
+from repro.training import (PAPER_EXPERIMENTS, available_experiments, paper_experiment,
+                            reduced_experiment)
+
+
+class TestTable2:
+    def test_available(self):
+        assert available_experiments() == ["cifar10", "cifar100", "imagenet"]
+        with pytest.raises(KeyError):
+            paper_experiment("mnist")
+
+    def test_cifar10_settings(self):
+        cfg = paper_experiment("cifar10")
+        assert cfg.model == "resnet20"
+        assert (cfg.weight_bits, cfg.act_bits, cfg.psum_bits) == (3, 3, 1)
+        assert cfg.cell_bits == 1                 # 1 bit per cell
+        assert cfg.array_size == 128
+        assert cfg.epochs == 200
+
+    def test_cifar100_settings(self):
+        cfg = paper_experiment("cifar100")
+        assert cfg.model == "resnet20"
+        assert (cfg.weight_bits, cfg.act_bits, cfg.psum_bits) == (4, 4, 3)
+        assert cfg.cell_bits == 2                 # 2 bits per cell
+        assert cfg.array_size == 128
+
+    def test_imagenet_settings(self):
+        cfg = paper_experiment("imagenet")
+        assert cfg.model == "resnet18"
+        assert (cfg.weight_bits, cfg.act_bits, cfg.psum_bits) == (3, 3, 2)
+        assert cfg.cell_bits == 3                 # 3 bits per cell -> single split
+        assert cfg.array_size == 256
+        assert cfg.epochs == 90
+
+    def test_cim_config_derivation(self):
+        cfg = paper_experiment("cifar100").cim_config()
+        assert cfg.array_rows == 128 and cfg.cell_bits == 2
+        assert cfg.n_splits(4) == 2
+
+    def test_scheme_derivation(self):
+        scheme = paper_experiment("cifar10").scheme("layer", "column")
+        assert scheme.weight_bits == 3 and scheme.psum_bits == 1
+        assert scheme.weight_granularity is Granularity.LAYER
+        assert scheme.psum_granularity is Granularity.COLUMN
+
+    def test_trainer_config(self):
+        trainer_cfg = paper_experiment("cifar10").trainer_config(epochs=5)
+        assert trainer_cfg.epochs == 5
+        assert trainer_cfg.lr == paper_experiment("cifar10").lr
+
+
+class TestReduced:
+    @pytest.mark.parametrize("name", ["cifar10", "cifar100", "imagenet"])
+    def test_reduced_preserves_bit_widths(self, name):
+        full, reduced = paper_experiment(name), reduced_experiment(name)
+        assert reduced.weight_bits == full.weight_bits
+        assert reduced.act_bits == full.act_bits
+        assert reduced.psum_bits == full.psum_bits
+        assert reduced.cell_bits == full.cell_bits
+
+    @pytest.mark.parametrize("name", ["cifar10", "cifar100", "imagenet"])
+    def test_reduced_is_smaller(self, name):
+        full, reduced = paper_experiment(name), reduced_experiment(name)
+        assert reduced.train_samples < full.train_samples
+        assert reduced.epochs < full.epochs
+        assert reduced.image_size <= full.image_size
+
+    def test_tiny_smaller_than_reduced(self):
+        reduced = reduced_experiment("cifar10")
+        tiny = reduced_experiment("cifar10", tiny=True)
+        assert tiny.train_samples < reduced.train_samples
+        assert tiny.epochs <= reduced.epochs
+
+    def test_reduced_name_suffix(self):
+        assert reduced_experiment("cifar10").name.endswith("-reduced")

@@ -1,0 +1,92 @@
+"""Post-training quantization pipeline (Kim / Bai baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.core import cim_layers
+from repro.data import test_loader as make_test_loader, train_loader as make_train_loader
+from repro.models import TinyCNN
+from repro.training import (PTQConfig, QATTrainer, TrainerConfig, calibrate_model,
+                            evaluate, ptq_quantize)
+
+
+@pytest.fixture
+def loaders(tiny_dataset):
+    return (make_train_loader(tiny_dataset, batch_size=16),
+            make_test_loader(tiny_dataset, batch_size=32))
+
+
+@pytest.fixture
+def pretrained_fp(loaders):
+    train, test = loaders
+    model = TinyCNN(num_classes=4, width=6, seed=0)
+    QATTrainer(model, train, test, TrainerConfig(epochs=4, lr=0.05)).fit()
+    return model
+
+
+class TestCalibration:
+    def test_calibration_initialises_all_scales(self, loaders, pretrained_fp):
+        train, _test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        scheme = QuantScheme(weight_granularity="array", psum_granularity="array",
+                             learnable_weight_scale=False)
+        model = ptq_quantize(pretrained_fp, scheme, cfg, calibration=train)
+        for _name, layer in cim_layers(model):
+            assert layer.weight_quant.is_initialized()
+            assert layer.psum_quant.is_initialized()
+            assert np.all(layer.psum_quant.scale.data > 0)
+            assert not layer.weight_quant.scale.requires_grad
+            assert not layer.psum_quant.scale.requires_grad
+            assert layer.psum_quant_enabled
+
+    def test_calibration_report_structure(self, loaders, pretrained_fp):
+        import copy
+        train, _test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        from repro.core import convert_to_cim
+        model = convert_to_cim(copy.deepcopy(pretrained_fp), QuantScheme(), cfg)
+        report = calibrate_model(model, train, PTQConfig(calibration_batches=2))
+        assert len(report) == 3
+        for entry in report.values():
+            assert entry["weight_scale_mean"] > 0
+            assert entry["psum_scale_mean"] > 0
+
+    def test_percentile_observer_option(self, loaders, pretrained_fp):
+        import copy
+        train, _test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        from repro.core import convert_to_cim
+        model = convert_to_cim(copy.deepcopy(pretrained_fp), QuantScheme(), cfg)
+        report = calibrate_model(model, train,
+                                 PTQConfig(calibration_batches=2, observer="percentile"))
+        assert len(report) == 3
+
+    def test_unknown_observer_raises(self):
+        with pytest.raises(ValueError):
+            PTQConfig(observer="entropy").make_observer(4, True, (1,))
+
+
+class TestAccuracy:
+    def test_high_precision_ptq_preserves_fp_accuracy(self, loaders, pretrained_fp):
+        import copy
+        train, test = loaders
+        fp_acc = evaluate(pretrained_fp, test)["top1"]
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=4)
+        scheme = QuantScheme(weight_bits=8, act_bits=8, psum_bits=8,
+                             weight_granularity="column", psum_granularity="column")
+        model = ptq_quantize(copy.deepcopy(pretrained_fp), scheme, cfg, calibration=train)
+        ptq_acc = evaluate(model, test)["top1"]
+        assert ptq_acc >= fp_acc - 0.15
+
+    def test_aggressive_psum_quant_degrades_more_than_mild(self, loaders, pretrained_fp):
+        import copy
+        train, test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        accuracies = {}
+        for psum_bits in (1, 6):
+            scheme = QuantScheme(weight_bits=4, act_bits=4, psum_bits=psum_bits,
+                                 weight_granularity="layer", psum_granularity="layer")
+            model = ptq_quantize(copy.deepcopy(pretrained_fp), scheme, cfg, calibration=train)
+            accuracies[psum_bits] = evaluate(model, test)["top1"]
+        assert accuracies[6] >= accuracies[1]

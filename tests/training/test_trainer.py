@@ -1,0 +1,104 @@
+"""One-stage QAT trainer."""
+
+import numpy as np
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.data import test_loader as make_test_loader, train_loader as make_train_loader
+from repro.models import TinyCNN
+from repro.nn import Tensor
+from repro.training import QATTrainer, TrainerConfig, evaluate, top1_accuracy, topk_accuracy
+from repro.training.metrics import Stopwatch, TrainingHistory
+
+
+@pytest.fixture
+def loaders(tiny_dataset):
+    return (make_train_loader(tiny_dataset, batch_size=16),
+            make_test_loader(tiny_dataset, batch_size=32))
+
+
+class TestMetrics:
+    def test_top1(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(logits, np.array([1, 0])) == 1.0
+        assert top1_accuracy(logits, np.array([0, 0])) == 0.5
+
+    def test_topk(self):
+        logits = np.array([[0.5, 0.3, 0.2, 0.0]])
+        assert topk_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert topk_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_evaluate_counts_samples(self, loaders):
+        _train, test = loaders
+        model = TinyCNN(num_classes=4, width=4)
+        stats = evaluate(model, test)
+        assert stats["samples"] == 32
+        assert 0.0 <= stats["top1"] <= 1.0
+
+    def test_history_properties(self):
+        history = TrainingHistory(test_accuracy=[0.1, 0.5, 0.4],
+                                  epoch_seconds=[1.0, 1.0, 1.0],
+                                  train_loss=[3, 2, 1])
+        assert history.best_test_accuracy == 0.5
+        assert history.final_test_accuracy == 0.4
+        assert history.total_seconds == 3.0
+        assert history.epochs_to_reach(0.45) == 2
+        assert history.epochs_to_reach(0.9) is None
+        assert history.summary()["epochs"] == 3
+
+    def test_stopwatch(self):
+        with Stopwatch() as timer:
+            sum(range(1000))
+        assert timer.seconds >= 0.0
+
+
+class TestQATTrainer:
+    def test_fp_training_reduces_loss(self, loaders):
+        train, test = loaders
+        model = TinyCNN(num_classes=4, width=6, seed=0)
+        trainer = QATTrainer(model, train, test, TrainerConfig(epochs=3, lr=0.05))
+        history = trainer.fit()
+        assert history.epochs == 3
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert len(history.learning_rate) == 3
+        assert history.learning_rate[0] > history.learning_rate[-1]  # cosine decay
+
+    def test_quantized_training_runs_and_improves_over_chance(self, loaders):
+        train, test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = TinyCNN(num_classes=4, width=6, seed=0,
+                        scheme=QuantScheme(weight_bits=4, act_bits=4, psum_bits=4),
+                        cim_config=cfg)
+        trainer = QATTrainer(model, train, test, TrainerConfig(epochs=4, lr=0.05))
+        history = trainer.fit()
+        assert history.train_accuracy[-1] > 0.3  # well above 25% chance on train set
+
+    def test_scale_parameters_get_their_own_group(self, loaders):
+        train, test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = TinyCNN(num_classes=4, width=4, scheme=QuantScheme(), cim_config=cfg)
+        trainer = QATTrainer(model, train, test, TrainerConfig(epochs=1, lr=0.1,
+                                                               scale_lr_factor=0.1))
+        assert len(trainer.optimizer.param_groups) == 2
+        assert trainer.optimizer.param_groups[1]["lr"] == pytest.approx(0.01)
+        assert trainer.optimizer.param_groups[1]["weight_decay"] == 0.0
+
+    def test_epoch_callback_invoked(self, loaders):
+        train, test = loaders
+        calls = []
+        model = TinyCNN(num_classes=4, width=4)
+        QATTrainer(model, train, test, TrainerConfig(epochs=2, lr=0.01),
+                   epoch_callback=lambda trainer, epoch: calls.append(epoch)).fit()
+        assert calls == [0, 1]
+
+    def test_fit_epochs_override(self, loaders):
+        train, test = loaders
+        model = TinyCNN(num_classes=4, width=4)
+        history = QATTrainer(model, train, test, TrainerConfig(epochs=5, lr=0.01)).fit(epochs=1)
+        assert history.epochs == 1
+
+    def test_evaluate_method(self, loaders):
+        train, test = loaders
+        model = TinyCNN(num_classes=4, width=4)
+        trainer = QATTrainer(model, train, test, TrainerConfig(epochs=1, lr=0.01))
+        assert "top1" in trainer.evaluate()

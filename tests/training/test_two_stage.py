@@ -1,0 +1,63 @@
+"""Two-stage QAT baseline trainer."""
+
+import pytest
+
+from repro.cim import CIMConfig, QuantScheme
+from repro.core import cim_layers
+from repro.data import test_loader as make_test_loader, train_loader as make_train_loader
+from repro.models import TinyCNN
+from repro.training import (TrainerConfig, TwoStageConfig, TwoStageQATTrainer,
+                            train_two_stage)
+
+
+@pytest.fixture
+def loaders(tiny_dataset):
+    return (make_train_loader(tiny_dataset, batch_size=16),
+            make_test_loader(tiny_dataset, batch_size=32))
+
+
+@pytest.fixture
+def quantized_model():
+    cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+    return TinyCNN(num_classes=4, width=4,
+                   scheme=QuantScheme(weight_granularity="layer",
+                                      psum_granularity="column"),
+                   cim_config=cfg)
+
+
+class TestTwoStage:
+    def test_config_totals(self):
+        assert TwoStageConfig(stage1_epochs=8, stage2_epochs=4).total_epochs == 12
+
+    def test_history_merged_with_stage_boundary(self, loaders, quantized_model):
+        train, test = loaders
+        trainer = TwoStageQATTrainer(quantized_model, train, test,
+                                     base_config=TrainerConfig(epochs=3, lr=0.05),
+                                     stages=TwoStageConfig(stage1_epochs=2, stage2_epochs=1))
+        history = trainer.fit()
+        assert history.epochs == 3
+        assert history.stage_boundaries == [2]
+        assert len(history.epoch_seconds) == 3
+
+    def test_psum_quant_enabled_after_training(self, loaders, quantized_model):
+        train, test = loaders
+        TwoStageQATTrainer(quantized_model, train, test,
+                           base_config=TrainerConfig(epochs=2, lr=0.05),
+                           stages=TwoStageConfig(1, 1)).fit()
+        assert all(layer.psum_quant_enabled for _, layer in cim_layers(quantized_model))
+
+    def test_stage2_uses_smaller_lr(self, loaders, quantized_model):
+        train, test = loaders
+        trainer = TwoStageQATTrainer(quantized_model, train, test,
+                                     base_config=TrainerConfig(epochs=2, lr=0.1),
+                                     stages=TwoStageConfig(1, 1, stage2_lr_factor=0.1))
+        history = trainer.fit()
+        # first stage starts at 0.1, second stage starts at 0.01
+        assert history.learning_rate[0] == pytest.approx(0.1)
+        assert history.learning_rate[1] == pytest.approx(0.01)
+
+    def test_convenience_wrapper(self, loaders, quantized_model):
+        train, test = loaders
+        history = train_two_stage(quantized_model, train, test,
+                                  stage1_epochs=1, stage2_epochs=1, lr=0.05)
+        assert history.epochs == 2
