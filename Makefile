@@ -1,0 +1,33 @@
+# Development targets for the CIM column-wise quantization reproduction.
+#
+#   make test         - tier-1 test suite (unit + property + integration)
+#   make test-engine  - just the frozen-engine suite
+#   make bench-smoke  - fast smoke pass over the benchmark harness
+#   make bench-engine - frozen-engine speedup benchmark at default scale
+#   make docs-check   - fail on undocumented public APIs in the documented modules
+#   make install      - editable install (works without the wheel package)
+
+PYTHON      ?= python
+PYTHONPATH  := src
+
+export PYTHONPATH
+
+.PHONY: test test-engine bench-smoke bench-engine docs-check install
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-engine:
+	$(PYTHON) -m pytest tests/engine -q
+
+bench-smoke:
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -q
+
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine_speedup.py
+
+docs-check:
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/core/psum.py src/repro/cim/cost.py
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop

@@ -1,11 +1,54 @@
-"""Setup shim so editable installs work without the ``wheel`` package.
+"""Packaging for the `repro` reproduction package.
 
-The environment this reproduction targets has no network access and no
-``wheel`` distribution, so PEP 660 editable installs (which build a wheel)
-fail.  Keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517`` and
-plain ``python setup.py develop`` work everywhere.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) on purpose: the offline
+environments this reproduction targets may lack the ``wheel`` distribution,
+and PEP 660 editable installs build a wheel.  A classic ``setup.py`` keeps
+``pip install -e .`` (optionally with ``--no-use-pep517``) and
+``python setup.py develop`` working everywhere, while still carrying full
+metadata and ``src/`` package discovery.
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def read(*parts: str) -> str:
+    with open(os.path.join(HERE, *parts), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def find_version() -> str:
+    match = re.search(r'^__version__ = "([^"]+)"',
+                      read("src", "repro", "__init__.py"), re.M)
+    if not match:
+        raise RuntimeError("unable to find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-cim-columnwise",
+    version=find_version(),
+    description=("NumPy reproduction of column-wise quantization of weights and "
+                 "partial sums for compute-in-memory accelerators (DATE 2025), "
+                 "with a frozen inference engine"),
+    long_description=read("README.md"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

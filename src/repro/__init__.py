@@ -15,6 +15,9 @@ Sub-packages
     The paper's contribution: CIM convolution / linear layers with
     column-wise weight and partial-sum quantization, and the quantization
     scheme registry reproducing related work.
+``repro.engine``
+    Frozen inference engine: compiled per-layer plans and the
+    ``freeze`` / ``thaw`` eval fast path.
 ``repro.models``
     ResNet-20 / ResNet-18 and reduced variants.
 ``repro.data``
@@ -31,10 +34,11 @@ from . import nn  # noqa: F401
 from . import quant  # noqa: F401
 from . import cim  # noqa: F401
 from . import core  # noqa: F401
+from . import engine  # noqa: F401
 from . import models  # noqa: F401
 from . import data  # noqa: F401
 from . import training  # noqa: F401
 from . import analysis  # noqa: F401
 
-__all__ = ["nn", "quant", "cim", "core", "models", "data", "training", "analysis",
-           "__version__"]
+__all__ = ["nn", "quant", "cim", "core", "engine", "models", "data", "training",
+           "analysis", "__version__"]

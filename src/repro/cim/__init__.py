@@ -13,7 +13,8 @@ from .cost import (ADCCostModel, CostReport, DequantOverhead, dequant_mults_per_
                    layer_adc_conversions, model_dequant_overhead)
 from .dac import DACModel, bit_serial_slices
 from .tiling import (ArrayTile, WeightMapping, build_linear_mapping, build_mapping,
-                     rows_utilization, tile_weight_matrix)
+                     mapping_from_dict, mapping_to_dict, rows_utilization,
+                     tile_weight_matrix)
 from .variation import VariationModel, apply_lognormal_variation
 
 __all__ = [
@@ -22,7 +23,7 @@ __all__ = [
     "DACModel", "bit_serial_slices",
     "CrossbarArray",
     "ArrayTile", "WeightMapping", "build_mapping", "build_linear_mapping",
-    "rows_utilization", "tile_weight_matrix",
+    "rows_utilization", "tile_weight_matrix", "mapping_to_dict", "mapping_from_dict",
     "VariationModel", "apply_lognormal_variation",
     "ADCCostModel", "CostReport", "DequantOverhead", "dequant_mults_per_layer",
     "layer_adc_conversions", "model_dequant_overhead",

@@ -53,6 +53,7 @@ class DequantOverhead:
 
     @property
     def multiplications(self) -> int:
+        """Dequantize multiplications per layer invocation (Fig. 8 x-axis)."""
         return dequant_mults_per_layer(self.psum_granularity, self.n_arrays,
                                        self.channels_per_array, self.n_splits)
 
@@ -102,12 +103,15 @@ class ADCCostModel:
     area_unit_um2: float = 30.0
 
     def energy_per_conversion(self, bits: int) -> float:
+        """Energy (pJ) of one ADC conversion at ``bits`` of resolution."""
         return self.energy_unit_pj * (2 ** bits)
 
     def area_per_adc(self, bits: int) -> float:
+        """Silicon area (um^2) of one ADC at ``bits`` of resolution."""
         return self.area_unit_um2 * (2 ** bits)
 
     def layer_energy(self, conversions: int, bits: int) -> float:
+        """Total ADC energy (pJ) of ``conversions`` conversions at ``bits``."""
         return conversions * self.energy_per_conversion(bits)
 
 
@@ -137,6 +141,7 @@ class CostReport:
                   conversions: Dict[str, int] | None = None,
                   adc_bits: int = 4,
                   adc_model: ADCCostModel | None = None) -> "CostReport":
+        """Sum per-layer overheads (and optional ADC conversion counts) into one report."""
         adc_model = adc_model or ADCCostModel()
         conversions = conversions or {}
         total_conv = sum(conversions.values())

@@ -39,7 +39,7 @@ import numpy as np
 from .config import CIMConfig
 
 __all__ = ["ArrayTile", "WeightMapping", "build_mapping", "build_linear_mapping",
-           "rows_utilization"]
+           "rows_utilization", "mapping_to_dict", "mapping_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -208,6 +208,55 @@ def rows_utilization(mapping: WeightMapping) -> float:
     if allocated == 0:
         return 0.0
     return mapping.used_rows / allocated
+
+
+def mapping_to_dict(mapping: WeightMapping) -> dict:
+    """Serialize a :class:`WeightMapping` (and its :class:`CIMConfig`) to plain data.
+
+    The result contains only JSON-compatible builtins, so a compiled inference
+    plan can be persisted next to its cached arrays (see
+    :mod:`repro.engine.plan`) and rebuilt in a fresh process with
+    :func:`mapping_from_dict`.
+    """
+    cfg = mapping.config
+    return {
+        "layer_type": mapping.layer_type,
+        "in_features": mapping.in_features,
+        "out_channels": mapping.out_channels,
+        "kernel_size": list(mapping.kernel_size),
+        "tiles": [[t.index, t.row_start, t.row_stop] for t in mapping.tiles],
+        "rows_per_array": mapping.rows_per_array,
+        "col_tiles": mapping.col_tiles,
+        "n_splits": mapping.n_splits,
+        "strategy": mapping.strategy,
+        "config": {
+            "array_rows": cfg.array_rows,
+            "array_cols": cfg.array_cols,
+            "cell_bits": cfg.cell_bits,
+            "adc_bits": cfg.adc_bits,
+            "dac_bits": cfg.dac_bits,
+            "tiling": cfg.tiling,
+        },
+    }
+
+
+def mapping_from_dict(state: dict) -> WeightMapping:
+    """Rebuild a :class:`WeightMapping` serialized by :func:`mapping_to_dict`."""
+    config = CIMConfig(**state["config"])
+    tiles = tuple(ArrayTile(int(i), int(start), int(stop))
+                  for i, start, stop in state["tiles"])
+    return WeightMapping(
+        layer_type=state["layer_type"],
+        in_features=int(state["in_features"]),
+        out_channels=int(state["out_channels"]),
+        kernel_size=tuple(int(k) for k in state["kernel_size"]),
+        tiles=tiles,
+        rows_per_array=int(state["rows_per_array"]),
+        col_tiles=int(state["col_tiles"]),
+        n_splits=int(state["n_splits"]),
+        config=config,
+        strategy=state["strategy"],
+    )
 
 
 def tile_weight_matrix(w_matrix: np.ndarray, mapping: WeightMapping) -> np.ndarray:

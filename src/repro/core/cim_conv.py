@@ -21,6 +21,12 @@
 With partial-sum quantization disabled and no variation, the layer is
 numerically identical to an ordinary convolution over the fake-quantized
 weights and activations — this equivalence is checked by the test-suite.
+
+Partial sums follow the canonical ``(S, A, N, L, OC)`` axis convention
+documented in :mod:`repro.core.psum`.  This forward recomputes quantization,
+bit-splitting and tiling every call (as QAT requires); for deployment,
+:func:`repro.engine.freeze` swaps the layer into a compiled fast path that
+caches all of it and matches this implementation numerically.
 """
 
 from __future__ import annotations

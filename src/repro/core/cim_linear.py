@@ -3,6 +3,11 @@
 Identical quantization pipeline to :class:`~repro.core.cim_conv.CIMConv2d`
 but for a matrix-vector product: the classifier head of ResNet is mapped onto
 crossbar arrays the same way (rows = input features, columns = classes).
+
+Partial sums are laid out as ``(S, A, N, OC)`` — the canonical
+``(S, A, N, L, OC)`` convention of :mod:`repro.core.psum` with the spatial
+axis dropped.  :func:`repro.engine.freeze` provides the compiled eval fast
+path for this layer as well.
 """
 
 from __future__ import annotations

@@ -1,10 +1,39 @@
-"""Partial-sum observation utilities.
+"""Partial-sum observation utilities and the canonical partial-sum layout.
 
+.. _psum-axes:
+
+Partial-sum axis convention
+---------------------------
+Every partial-sum tensor in this codebase uses the axis order
+
+    ``(S, A, N, L, OC)``
+
+* ``S``  — weight bit-split index (``n_splits`` slices of ``cell_bits`` each;
+  :mod:`repro.quant.bitsplit`);
+* ``A``  — crossbar-array index along the word-line (row) direction of the
+  tiling (:mod:`repro.cim.tiling`);
+* ``N``  — batch (sample) index;
+* ``L``  — flattened spatial output position, ``L = out_h * out_w``;
+* ``OC`` — output channel, i.e. the physical ADC column group.
+
+Linear layers have no spatial extent, so their partial sums are
+``(S, A, N, OC)`` — the same convention with the ``L`` axis dropped
+(:class:`PartialSumRecorder` re-inserts a singleton ``L`` so both layer kinds
+share one code path).  One *physical ADC column* corresponds to a fixed
+``(split, array, output channel)`` triple; column-wise quantities (partial-sum
+scales, Fig. 6 distributions, dequant multipliers) are therefore indexed by
+``(S, A, OC)``.  The scale-shape helpers in :mod:`repro.quant.granularity`,
+the layers in :mod:`repro.core`, and the compiled plans in
+:mod:`repro.engine.plan` all follow this convention.
+
+Recording
+---------
 The distribution analysis of Fig. 6 (integer-valued column-wise partial-sum
 distributions under layer-wise vs column-wise weight quantization) needs
 access to the raw partial sums produced inside a CIM layer before they are
 quantized.  :class:`PartialSumRecorder` is a lightweight sink that CIM layers
-write into when recording is enabled.
+write into when recording is enabled; the frozen inference engine falls back
+to the recording path whenever a recorder is attached.
 """
 
 from __future__ import annotations
@@ -30,6 +59,7 @@ class ColumnStatistics:
 
     @classmethod
     def from_values(cls, column_index: int, values: np.ndarray) -> "ColumnStatistics":
+        """Summarise one column's recorded partial sums (empty columns give zeros)."""
         values = np.asarray(values, dtype=np.float64)
         vmin = float(values.min()) if values.size else 0.0
         vmax = float(values.max()) if values.size else 0.0
@@ -75,6 +105,7 @@ class PartialSumRecorder:
 
     # ------------------------------------------------------------------ #
     def layers(self) -> List[str]:
+        """Names of the layers that have recorded partial sums so far."""
         return list(self._columns.keys())
 
     def column_values(self, layer_name: str) -> List[np.ndarray]:
@@ -84,6 +115,7 @@ class PartialSumRecorder:
         return self._columns[layer_name]
 
     def column_statistics(self, layer_name: str) -> List[ColumnStatistics]:
+        """Per-column :class:`ColumnStatistics` over the recorded partial sums."""
         return [ColumnStatistics.from_values(i, vals)
                 for i, vals in enumerate(self.column_values(layer_name))]
 
@@ -92,4 +124,5 @@ class PartialSumRecorder:
         return np.array([s.dynamic_range for s in self.column_statistics(layer_name)])
 
     def clear(self) -> None:
+        """Drop all recorded partial sums (e.g. between evaluation sweeps)."""
         self._columns.clear()

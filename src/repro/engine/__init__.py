@@ -1,0 +1,38 @@
+"""``repro.engine`` — frozen inference engine for CIM layers.
+
+The QAT layers in :mod:`repro.core` recompute weight quantization,
+bit-splitting, tiling and scale broadcasting on every forward call, which is
+what training needs but pure waste at deployment time.  This subsystem
+compiles each layer into a static :mod:`~repro.engine.plan` once ("freeze
+time") and then runs inference through a fused NumPy fast path:
+
+* :func:`freeze` / :func:`thaw` — switch a whole model (or a single layer)
+  into eval fast-path mode and back, losslessly;
+* :class:`ConvPlan` / :class:`LinearPlan` — the compiled per-layer plans
+  (cached integer tiled weights, bit-splits, folded ``s_w * s_p * shift``
+  dequantization scales, valid-rows mask) with
+  :func:`save_plan` / :func:`load_plan` serialization;
+* :class:`FrozenCIMConv2d` / :class:`FrozenCIMLinear` — drop-in wrapper
+  modules that execute the plan and transparently fall back to the original
+  QAT forward for training, recording, or uncalibrated quantizers.
+
+The fast path is numerically equivalent to the seed layers (same activation
+and partial-sum rounding decisions; outputs match to ~1e-12) with or without
+partial-sum quantization and device variation — see ``tests/engine/`` and
+``benchmarks/bench_engine_speedup.py``.
+"""
+
+from .api import freeze, frozen_layers, is_frozen, thaw
+from .frozen import FrozenCIMConv2d, FrozenCIMLinear
+from .plan import (ConvPlan, LinearPlan, PlanNotReadyError, compile_conv_plan,
+                   compile_linear_plan, compile_plan, layer_signature, load_plan,
+                   save_plan, signature_ready)
+
+__all__ = [
+    "freeze", "thaw", "is_frozen", "frozen_layers",
+    "FrozenCIMConv2d", "FrozenCIMLinear",
+    "ConvPlan", "LinearPlan", "PlanNotReadyError",
+    "compile_plan", "compile_conv_plan", "compile_linear_plan",
+    "layer_signature", "signature_ready",
+    "save_plan", "load_plan",
+]

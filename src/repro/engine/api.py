@@ -1,0 +1,149 @@
+"""Model-level freeze / thaw API of the inference engine.
+
+:func:`freeze` swaps every CIM layer of a model for its frozen wrapper (a
+compiled-plan fast path; see :mod:`repro.engine.frozen`), and :func:`thaw`
+swaps the original layers back — a lossless round trip, since the wrapper
+keeps the original layer (with all parameters and quantizer state) as a
+submodule.
+
+Typical lifecycle::
+
+    model = build_and_train(...)          # QAT as usual
+    engine.freeze(model, calibrate=batch) # -> eval fast path
+    logits = model(images)                # fused / cached inference
+    engine.thaw(model)                    # back to the QAT layers
+    model.train()                         # resume training
+
+Freezing changes the module tree (``conv1`` becomes ``conv1.layer`` inside a
+:class:`~repro.engine.frozen.FrozenCIMConv2d`), so thaw before saving or
+loading a ``state_dict`` captured on the unfrozen model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..core.cim_conv import CIMConv2d
+from ..core.cim_linear import CIMLinear
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from .frozen import FrozenCIMConv2d, FrozenCIMLinear, _FrozenLayer
+
+__all__ = ["freeze", "thaw", "is_frozen", "frozen_layers"]
+
+
+def _wrap(layer: Module) -> _FrozenLayer:
+    """Wrap one CIM layer in its frozen counterpart."""
+    if isinstance(layer, CIMConv2d):
+        return FrozenCIMConv2d(layer)
+    if isinstance(layer, CIMLinear):
+        return FrozenCIMLinear(layer)
+    raise TypeError(f"cannot freeze {type(layer).__name__}")
+
+
+def _disable_param_grads(model: Module) -> None:
+    """Put the model in inference-only mode, remembering prior grad flags.
+
+    Freezing means "no more training until thaw": parameters stop requiring
+    gradients, so interior activations (e.g. BatchNorm outputs between two
+    CIM layers) no longer drag an autograd graph through the network and
+    every frozen layer stays on its fast path.  :func:`thaw` restores the
+    recorded flags.  Re-freezing an already-frozen model must keep the
+    original record — overwriting it with the now-all-False flags would make
+    thaw unable to re-enable training.
+    """
+    if getattr(model, "_engine_saved_grad_flags", None) is not None:
+        return
+    saved = [(param, param.requires_grad) for _, param in model.named_parameters()]
+    for param, _ in saved:
+        param.requires_grad = False
+    object.__setattr__(model, "_engine_saved_grad_flags", saved)
+
+
+def _restore_param_grads(model: Module) -> None:
+    """Restore the parameter ``requires_grad`` flags recorded by freeze."""
+    saved = getattr(model, "_engine_saved_grad_flags", None)
+    if saved is not None:
+        for param, flag in saved:
+            param.requires_grad = flag
+        object.__delattr__(model, "_engine_saved_grad_flags")
+
+
+def freeze(model: Module, calibrate: Optional[Tensor] = None) -> Module:
+    """Switch a model into eval fast-path mode.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module` tree containing CIM layers —
+        or a bare CIM layer, in which case the wrapper itself is returned.
+    calibrate:
+        Optional example batch.  When given, one forward pass runs first (in
+        eval mode, without gradients) so that lazily-initialized LSQ scales
+        observe data and every plan compiles eagerly.  Without it, layers
+        whose quantizers are uninitialized fall back to the seed forward on
+        their first call and compile afterwards.
+
+    Returns
+    -------
+    Module
+        The same model object (layers swapped in place), or the frozen
+        wrapper when ``model`` itself is a CIM layer.  Freezing is
+        idempotent: already-frozen layers are left untouched.
+
+    Freezing also puts the model in inference-only mode: every parameter's
+    ``requires_grad`` flag is cleared (and recorded) so no autograd graph is
+    built anywhere in the network; :func:`thaw` restores the flags.
+    """
+    model.eval()
+    if calibrate is not None:
+        with no_grad():
+            model(calibrate)
+    if isinstance(model, (CIMConv2d, CIMLinear)):
+        wrapper = _wrap(model)
+        _disable_param_grads(wrapper)
+        return wrapper
+    targets = []
+    for _, module in list(model.named_modules()):
+        if isinstance(module, _FrozenLayer):
+            continue  # the wrapped layer stays wrapped
+        for name, child in module._modules.items():
+            if isinstance(child, (CIMConv2d, CIMLinear)):
+                targets.append((module, name, child))
+    for parent, name, child in targets:
+        parent.add_module(name, _wrap(child))
+    _disable_param_grads(model)
+    return model
+
+
+def thaw(model: Module) -> Module:
+    """Undo :func:`freeze`, restoring the original CIM layers in place.
+
+    Returns the same model object (or the unwrapped layer when ``model`` is
+    itself a frozen wrapper).  Compiled plans are discarded; the layers keep
+    whatever parameter and quantizer state they accumulated, and parameter
+    ``requires_grad`` flags recorded by :func:`freeze` are restored.
+    """
+    _restore_param_grads(model)
+    if isinstance(model, _FrozenLayer):
+        return model.layer
+    targets = []
+    for _, module in list(model.named_modules()):
+        for name, child in module._modules.items():
+            if isinstance(child, _FrozenLayer):
+                targets.append((module, name, child.layer))
+    for parent, name, original in targets:
+        parent.add_module(name, original)
+    return model
+
+
+def is_frozen(model: Module) -> bool:
+    """True if ``model`` is, or contains, a frozen CIM layer."""
+    return any(isinstance(module, _FrozenLayer) for module in model.modules())
+
+
+def frozen_layers(model: Module) -> Iterator[Tuple[str, _FrozenLayer]]:
+    """Yield ``(name, wrapper)`` for every frozen layer in the model."""
+    for name, module in model.named_modules():
+        if isinstance(module, _FrozenLayer):
+            yield name, module

@@ -1,0 +1,456 @@
+"""Compiled per-layer inference plans for the frozen CIM engine.
+
+The QAT-oriented forward of :class:`~repro.core.cim_conv.CIMConv2d` /
+:class:`~repro.core.cim_linear.CIMLinear` re-derives everything from the
+learnable parameters on every call: it re-quantizes the weights, re-runs
+bit-splitting, re-builds the tiled layout and re-broadcasts the dequantization
+scales.  None of that depends on the input, so at inference time it is pure
+overhead.  A *plan* snapshots all of it once, at freeze time:
+
+* the integer tiled weight ``w_bar`` and its per-cell bit-splits,
+* the weight scale ``s_w`` and the valid-rows mask of the tiling,
+* the activation and partial-sum quantizer parameters (scales + clip ranges),
+* the folded dequantization multiplier ``M = s_p * 2**(j*cell_bits) * s_w``
+  (one multiplication per ADC column instead of three broadcast passes —
+  the deployment folding of Fig. 4(d) of the paper),
+* a pre-reshaped weight operand for a single batched GEMM per layer.
+
+Two execution strategies are compiled into every plan:
+
+fused path (partial-sum quantization disabled, no recorder)
+    The bit-splits are folded back into the integer weight (exact, since
+    ``sum_j split_j * 2**(j*cell_bits) == w_bar``), the weight scale is folded
+    in, and the whole layer collapses to **one** GEMM over the activation
+    columns — the ``(S, A, N, L, OC)`` partial-sum intermediate (axis
+    convention: :mod:`repro.core.psum`) is never materialized.
+
+quantized path (partial-sum quantization enabled)
+    The per-(split, array) partial sums are semantically observable — the ADC
+    rounds each one — so the intermediate must exist; the plan computes it
+    with a single batched GEMM over arrays, quantizes in place, and reduces
+    with one ``einsum`` against the folded multiplier ``M``.
+
+Plans are plain data (NumPy arrays + geometry) and can be serialized with
+:func:`save_plan` / :func:`load_plan`; the crossbar mapping travels along via
+:func:`repro.cim.tiling.mapping_to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cim.tiling import WeightMapping, mapping_from_dict, mapping_to_dict
+from ..nn import functional as F
+from ..nn.tensor import no_grad
+from ..quant.bitsplit import split_tensor_ste
+
+__all__ = [
+    "ConvPlan",
+    "LinearPlan",
+    "PlanNotReadyError",
+    "compile_plan",
+    "compile_conv_plan",
+    "compile_linear_plan",
+    "layer_signature",
+    "signature_ready",
+    "save_plan",
+    "load_plan",
+]
+
+
+class PlanNotReadyError(RuntimeError):
+    """Raised when compiling a layer whose LSQ quantizers are not initialized.
+
+    Activation and partial-sum scales are initialized from the first observed
+    batch; until then there is nothing to snapshot.  Run one forward pass (or
+    pass ``calibrate=`` to :func:`repro.engine.freeze`) and compile again.
+    """
+
+
+def layer_signature(layer) -> Tuple[bool, bool, bool]:
+    """Snapshot of the layer state a compiled plan depends on.
+
+    Returns ``(psum_quant_enabled, act_ready, psum_ready)``.  A plan compiled
+    under one signature is stale once the layer's signature changes (e.g.
+    partial-sum quantization was toggled by a two-stage trainer, or a lazy
+    LSQ scale got initialized); :class:`~repro.engine.frozen.FrozenCIMConv2d`
+    recompiles automatically when that happens.
+    """
+    act_ready = layer.act_quant is None or layer.act_quant.is_initialized()
+    psum_enabled = bool(layer.psum_quant_enabled)
+    psum_ready = (not psum_enabled) or layer.psum_quant.is_initialized()
+    return (psum_enabled, act_ready, psum_ready)
+
+
+def signature_ready(signature: Tuple[bool, bool, bool]) -> bool:
+    """True when every quantizer a plan needs has been initialized."""
+    _, act_ready, psum_ready = signature
+    return act_ready and psum_ready
+
+
+# --------------------------------------------------------------------------- #
+# plan dataclasses
+# --------------------------------------------------------------------------- #
+@dataclass
+class _PlanBase:
+    """State shared by the convolution and linear plans.
+
+    All arrays are detached copies — mutating the source layer after freezing
+    does not change the plan (call :meth:`FrozenCIMConv2d.refresh` or re-freeze
+    to pick up new parameters).
+    """
+
+    out_channels: int
+    n_arrays: int
+    rows_per_array: int
+    n_splits: int
+    pad_rows: int
+    w_bar: np.ndarray             # (A, R, OC) integer weight codes
+    splits: np.ndarray            # (S, A, R, OC) integer cell codes
+    s_w: np.ndarray               # weight scale, broadcastable to (A, R, OC)
+    valid_mask: np.ndarray        # (A, R, 1) rows holding real weights
+    shift_factors: np.ndarray     # (S,) shift-and-add factors 2**(j*cell_bits)
+    w_eff_mat: np.ndarray         # (A*R, OC) folded weight for the fused path
+    bias: Optional[np.ndarray]
+    act_scale: Optional[np.ndarray]   # (1,) activation scale, None = raw input
+    act_qmin: float
+    act_qmax: float
+    psum_quant_enabled: bool
+    s_p: Optional[np.ndarray]     # (S|1, A|1, OC|1) partial-sum scale
+    psum_qmin: float
+    psum_qmax: float
+    mapping: WeightMapping
+    signature: Tuple[bool, bool, bool]
+    # derived operands, rebuilt by _build_derived()
+    row_slices: list = field(init=False, repr=False, default=None)
+    w_split_mats: list = field(init=False, repr=False, default=None)
+    w_eff_valid: np.ndarray = field(init=False, repr=False, default=None)
+    s_p_full: Optional[np.ndarray] = field(init=False, repr=False, default=None)
+    m_fold: Optional[np.ndarray] = field(init=False, repr=False, default=None)
+
+    def __post_init__(self):
+        self._build_derived()
+
+    def _build_derived(self) -> None:
+        """Pre-reshape the cached arrays into GEMM-ready per-array operands.
+
+        The tiled layout zero-pads every array to ``rows_per_array`` word
+        lines, but zero rows contribute nothing to a partial sum; the derived
+        operands keep only the valid rows of each tile (via the mapping's row
+        partition), so the hot path never pads activation columns and never
+        multiplies dead rows.
+        """
+        s, a, r, oc = self.splits.shape
+        self.row_slices = [(t.row_start, t.row_stop) for t in self.mapping.tiles]
+        # per-array (rows_a, S*OC) bit-split weights for the quantized path
+        self.w_split_mats = [
+            np.ascontiguousarray(
+                self.splits[:, i, :stop - start, :].transpose(1, 0, 2)
+            ).reshape(stop - start, s * oc)
+            for i, (start, stop) in enumerate(self.row_slices)]
+        # (in_features, OC) folded weight for the fused path (valid rows only)
+        self.w_eff_valid = np.concatenate(
+            [self.w_eff_mat[i * r:i * r + (stop - start)]
+             for i, (start, stop) in enumerate(self.row_slices)], axis=0)
+        if self.psum_quant_enabled and self.s_p is not None:
+            self.s_p_full = np.ascontiguousarray(
+                np.broadcast_to(self.s_p, (s, a, oc)).transpose(1, 0, 2))
+            s_w_sq = self.s_w.reshape(self.s_w.shape[0], self.s_w.shape[2])
+            m = self.s_p * self.shift_factors[:, None, None] * s_w_sq[None, :, :]
+            self.m_fold = np.ascontiguousarray(
+                np.broadcast_to(m, (s, a, oc)).transpose(1, 0, 2))
+        else:
+            self.s_p_full = None
+            self.m_fold = None
+
+    # ---------------------------------------------------------------- #
+    @property
+    def ready(self) -> bool:
+        """Compiled plans are always executable for their signature."""
+        return True
+
+    def _quantize_acts(self, x: np.ndarray) -> np.ndarray:
+        """LSQ activation quantization: ``round(clamp(x / s_a))`` codes."""
+        if self.act_scale is None:
+            return x
+        a = np.clip(x / self.act_scale, self.act_qmin, self.act_qmax)
+        return np.round(a, out=a)
+
+    def _varied_splits(self, variation) -> np.ndarray:
+        """Apply a device-variation model to the cached cell codes.
+
+        Mirrors the seed layers exactly — including the RNG draw order — so a
+        frozen layer with the same :class:`~repro.cim.variation.VariationModel`
+        state produces the same perturbed cells as the unfrozen one.
+        """
+        if variation.target == "cells":
+            return variation.perturb(self.splits)
+        w_var = variation.perturb(self.w_bar)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(self.w_bar != 0, w_var / self.w_bar, 1.0)
+        return self.splits * ratio[None, ...]
+
+    def _varied_wsplit_mats(self, variation) -> list:
+        """Per-array ``(rows_a, S*OC)`` operands under device variation."""
+        s, _, _, oc = self.splits.shape
+        sv = self._varied_splits(variation)
+        return [np.ascontiguousarray(
+                    sv[:, i, :stop - start, :].transpose(1, 0, 2)
+                ).reshape(stop - start, s * oc)
+                for i, (start, stop) in enumerate(self.row_slices)]
+
+    def _varied_w_eff(self, variation) -> np.ndarray:
+        """Fused ``(in_features, OC)`` weight with variation folded through the shifts."""
+        sv = self._varied_splits(variation)
+        w_eff = (sv * self.shift_factors.reshape(-1, 1, 1, 1)).sum(axis=0) * self.s_w
+        return np.concatenate(
+            [w_eff[i, :stop - start, :]
+             for i, (start, stop) in enumerate(self.row_slices)], axis=0)
+
+    def _contract(self, cols_flat: np.ndarray, variation) -> np.ndarray:
+        """Contract activation columns ``(NL, in_features)`` into ``(NL, OC)``.
+
+        Dispatches between the fused single-GEMM path and the quantized
+        (ADC-observing) path; see the module docstring for when each applies.
+        """
+        if not self.psum_quant_enabled:
+            w_eff = self.w_eff_valid if variation is None else self._varied_w_eff(variation)
+            return cols_flat @ w_eff
+        nl = cols_flat.shape[0]
+        s, oc = self.n_splits, self.out_channels
+        w_mats = self.w_split_mats if variation is None else self._varied_wsplit_mats(variation)
+        out = np.zeros((nl, oc))
+        for i, (start, stop) in enumerate(self.row_slices):
+            p = cols_flat[:, start:stop] @ w_mats[i]        # (NL, S*OC) partial sums
+            p = p.reshape(nl, s, oc)
+            p /= self.s_p_full[i]
+            np.clip(p, self.psum_qmin, self.psum_qmax, out=p)
+            np.round(p, out=p)                              # ADC codes
+            out += np.einsum("xso,so->xo", p, self.m_fold[i], optimize=True)
+        return out
+
+
+@dataclass
+class ConvPlan(_PlanBase):
+    """Frozen inference plan of one :class:`~repro.core.cim_conv.CIMConv2d`."""
+
+    in_channels: int = 0
+    kernel_size: Tuple[int, int] = (1, 1)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+
+    layer_type = "conv2d"
+
+    def execute(self, x: np.ndarray, variation=None) -> np.ndarray:
+        """Run the frozen forward on a ``(N, C, H, W)`` activation array."""
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        kh, kw = self.kernel_size
+        out_h = F.conv_output_size(h, kh, self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(w, kw, self.stride[1], self.padding[1])
+        length = out_h * out_w
+
+        a = self._quantize_acts(x)
+        cols = F.unfold_array(a, self.kernel_size, self.stride, self.padding,
+                              layout="nlk")                 # (N, L, D)
+        out = self._contract(cols.reshape(n * length, -1), variation)  # (NL, OC)
+        if self.act_scale is not None:
+            out *= self.act_scale
+        out = out.reshape(n, length, self.out_channels).transpose(0, 2, 1)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return out
+
+
+@dataclass
+class LinearPlan(_PlanBase):
+    """Frozen inference plan of one :class:`~repro.core.cim_linear.CIMLinear`."""
+
+    in_features: int = 0
+
+    layer_type = "linear"
+
+    def execute(self, x: np.ndarray, variation=None) -> np.ndarray:
+        """Run the frozen forward on a ``(N, in_features)`` activation array."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {x.shape}")
+        a = self._quantize_acts(x)
+        out = self._contract(a, variation)                  # (N, OC)
+        if self.act_scale is not None:
+            out *= self.act_scale
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------------- #
+def _snapshot_common(layer, signature) -> dict:
+    """Detached copies of everything both plan kinds cache."""
+    with no_grad():
+        w_bar_t, s_w_t = layer.quantized_weight()
+        splits_t = split_tensor_ste(w_bar_t, layer.bitsplit)
+    w_bar = np.array(w_bar_t.data, dtype=np.float64, copy=True)
+    splits = np.array(splits_t.data, dtype=np.float64, copy=True)
+    s_w = np.array(s_w_t.data, dtype=np.float64, copy=True)
+    w_eff = np.ascontiguousarray(
+        (w_bar * s_w).reshape(-1, layer.mapping.out_channels))
+
+    if layer.act_quant is not None:
+        act_scale = layer.act_quant.scale.data.copy()
+        act_qmin = float(layer.act_quant.qmin)
+        act_qmax = float(layer.act_quant.qmax)
+    else:
+        act_scale, act_qmin, act_qmax = None, 0.0, 0.0
+
+    psum_enabled = bool(layer.psum_quant_enabled)
+    if psum_enabled:
+        raw = layer.psum_quant.scale.data
+        if raw.ndim == 5:        # conv layout (S|1, A|1, 1, 1, OC|1)
+            s_p = raw.reshape(raw.shape[0], raw.shape[1], raw.shape[4]).copy()
+        else:                    # linear layout (S|1, A|1, 1, OC|1)
+            s_p = raw.reshape(raw.shape[0], raw.shape[1], raw.shape[3]).copy()
+        psum_qmin = float(layer.psum_quant.qmin)
+        psum_qmax = float(layer.psum_quant.qmax)
+    else:
+        s_p, psum_qmin, psum_qmax = None, 0.0, 0.0
+
+    return dict(
+        out_channels=layer.mapping.out_channels,
+        n_arrays=layer.mapping.n_arrays_row,
+        rows_per_array=layer.mapping.rows_per_array,
+        n_splits=layer.bitsplit.n_splits,
+        pad_rows=(layer.mapping.n_arrays_row * layer.mapping.rows_per_array
+                  - layer.mapping.in_features),
+        w_bar=w_bar,
+        splits=splits,
+        s_w=s_w,
+        valid_mask=layer._valid_rows_mask(),
+        shift_factors=np.asarray(layer._shift_factors, dtype=np.float64).copy(),
+        w_eff_mat=w_eff,
+        bias=None if layer.bias is None else layer.bias.data.copy(),
+        act_scale=act_scale,
+        act_qmin=act_qmin,
+        act_qmax=act_qmax,
+        psum_quant_enabled=psum_enabled,
+        s_p=s_p,
+        psum_qmin=psum_qmin,
+        psum_qmax=psum_qmax,
+        mapping=layer.mapping,
+        signature=signature,
+    )
+
+
+def compile_conv_plan(layer) -> ConvPlan:
+    """Compile a :class:`~repro.core.cim_conv.CIMConv2d` into a :class:`ConvPlan`.
+
+    Raises :class:`PlanNotReadyError` if the layer's lazily-initialized LSQ
+    scales have not yet observed a batch.
+    """
+    signature = layer_signature(layer)
+    if not signature_ready(signature):
+        raise PlanNotReadyError(
+            "activation / partial-sum quantizers are uninitialized; run one "
+            "forward pass (or freeze with calibrate=...) before compiling")
+    return ConvPlan(in_channels=layer.in_channels,
+                    kernel_size=layer.kernel_size,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    **_snapshot_common(layer, signature))
+
+
+def compile_linear_plan(layer) -> LinearPlan:
+    """Compile a :class:`~repro.core.cim_linear.CIMLinear` into a :class:`LinearPlan`."""
+    signature = layer_signature(layer)
+    if not signature_ready(signature):
+        raise PlanNotReadyError(
+            "activation / partial-sum quantizers are uninitialized; run one "
+            "forward pass (or freeze with calibrate=...) before compiling")
+    return LinearPlan(in_features=layer.in_features,
+                      **_snapshot_common(layer, signature))
+
+
+def compile_plan(layer):
+    """Compile a plan for any CIM layer (dispatch on the layer type)."""
+    from ..core.cim_conv import CIMConv2d
+    from ..core.cim_linear import CIMLinear
+    if isinstance(layer, CIMConv2d):
+        return compile_conv_plan(layer)
+    if isinstance(layer, CIMLinear):
+        return compile_linear_plan(layer)
+    raise TypeError(f"cannot compile a plan for {type(layer).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+_ARRAY_FIELDS = ("w_bar", "splits", "s_w", "valid_mask", "shift_factors",
+                 "w_eff_mat", "bias", "act_scale", "s_p")
+
+
+def save_plan(plan, path) -> None:
+    """Serialize a plan to an ``.npz`` archive (arrays + JSON metadata)."""
+    meta = {
+        "layer_type": plan.layer_type,
+        "out_channels": plan.out_channels,
+        "n_arrays": plan.n_arrays,
+        "rows_per_array": plan.rows_per_array,
+        "n_splits": plan.n_splits,
+        "pad_rows": plan.pad_rows,
+        "act_qmin": plan.act_qmin,
+        "act_qmax": plan.act_qmax,
+        "psum_quant_enabled": plan.psum_quant_enabled,
+        "psum_qmin": plan.psum_qmin,
+        "psum_qmax": plan.psum_qmax,
+        "signature": list(plan.signature),
+        "mapping": mapping_to_dict(plan.mapping),
+    }
+    if isinstance(plan, ConvPlan):
+        meta.update(in_channels=plan.in_channels,
+                    kernel_size=list(plan.kernel_size),
+                    stride=list(plan.stride),
+                    padding=list(plan.padding))
+    else:
+        meta.update(in_features=plan.in_features)
+    arrays = {name: getattr(plan, name) for name in _ARRAY_FIELDS
+              if getattr(plan, name) is not None}
+    np.savez(path, __meta__=np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
+
+
+def load_plan(path):
+    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` saved by :func:`save_plan`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        arrays = {name: (archive[name] if name in archive.files else None)
+                  for name in _ARRAY_FIELDS}
+    common = dict(
+        out_channels=int(meta["out_channels"]),
+        n_arrays=int(meta["n_arrays"]),
+        rows_per_array=int(meta["rows_per_array"]),
+        n_splits=int(meta["n_splits"]),
+        pad_rows=int(meta["pad_rows"]),
+        act_qmin=float(meta["act_qmin"]),
+        act_qmax=float(meta["act_qmax"]),
+        psum_quant_enabled=bool(meta["psum_quant_enabled"]),
+        psum_qmin=float(meta["psum_qmin"]),
+        psum_qmax=float(meta["psum_qmax"]),
+        signature=tuple(meta["signature"]),
+        mapping=mapping_from_dict(meta["mapping"]),
+        **arrays,
+    )
+    if meta["layer_type"] == "conv2d":
+        return ConvPlan(in_channels=int(meta["in_channels"]),
+                        kernel_size=tuple(meta["kernel_size"]),
+                        stride=tuple(meta["stride"]),
+                        padding=tuple(meta["padding"]),
+                        **common)
+    return LinearPlan(in_features=int(meta["in_features"]), **common)

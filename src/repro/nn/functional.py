@@ -10,6 +10,7 @@ lines, and the unrolled weight matrix is what gets programmed into the cells.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -18,6 +19,7 @@ from .tensor import Tensor
 
 __all__ = [
     "unfold",
+    "unfold_array",
     "fold_grad",
     "conv2d",
     "conv_output_size",
@@ -47,11 +49,17 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
-def _im2col_indices(x_padded_shape, kernel, stride):
-    """Return index arrays that gather sliding windows from a padded input."""
-    _, channels, height, width = x_padded_shape
-    kh, kw = kernel
-    sh, sw = stride
+@lru_cache(maxsize=256)
+def _im2col_index_cache(channels: int, height: int, width: int,
+                        kh: int, kw: int, sh: int, sw: int):
+    """Index arrays gathering sliding windows from a padded ``(N, C, H, W)`` input.
+
+    The arrays depend only on the (padded) spatial geometry, not on the batch
+    or the data, so they are memoised: repeated inference calls with the same
+    layer geometry — the common case for the frozen inference engine — reuse
+    the cached indices instead of rebuilding them every forward.  The cached
+    arrays are shared; callers must treat them as read-only.
+    """
     out_h = (height - kh) // sh + 1
     out_w = (width - kw) // sw + 1
 
@@ -64,6 +72,65 @@ def _im2col_indices(x_padded_shape, kernel, stride):
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
     return k, i, j, out_h, out_w
+
+
+@lru_cache(maxsize=256)
+def _im2col_index_cache_nlk(channels: int, height: int, width: int,
+                            kh: int, kw: int, sh: int, sw: int):
+    """Transposed ``(L, K)`` variant of :func:`_im2col_index_cache`.
+
+    Indexing a padded input with these arrays yields columns in ``(N, L, K)``
+    layout directly, which is what the engine's fused GEMM consumes — saving
+    the ``(N, K, L) -> (N, L, K)`` transpose-copy on the hot path.
+    """
+    k, i, j, out_h, out_w = _im2col_index_cache(channels, height, width, kh, kw, sh, sw)
+    return (np.ascontiguousarray(k.T), np.ascontiguousarray(i.T),
+            np.ascontiguousarray(j.T), out_h, out_w)
+
+
+def _im2col_indices(x_padded_shape, kernel, stride):
+    """Return index arrays that gather sliding windows from a padded input."""
+    _, channels, height, width = x_padded_shape
+    kh, kw = kernel
+    sh, sw = stride
+    return _im2col_index_cache(int(channels), int(height), int(width),
+                               int(kh), int(kw), int(sh), int(sw))
+
+
+def unfold_array(x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1,
+                 padding: IntPair = 0, layout: str = "nkl") -> np.ndarray:
+    """Pure-NumPy im2col (no autograd graph).
+
+    Parameters
+    ----------
+    x:
+        Input array of shape ``(N, C, H, W)``.
+    kernel_size, stride, padding:
+        Convolution geometry.
+    layout:
+        ``"nkl"`` returns ``(N, C*kh*kw, L)`` — the layout of :func:`unfold`;
+        ``"nlk"`` returns ``(N, L, C*kh*kw)``, the layout consumed by the
+        frozen inference engine's fused matmul.
+
+    This is the inference fast path behind :func:`unfold`: it reuses the
+    memoised gather indices and skips the backward-closure bookkeeping.
+    """
+    kernel = _pair(kernel_size)
+    stride = _pair(stride)
+    ph, pw = _pair(padding)
+    x = np.asarray(x)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    _, channels, height, width = x.shape
+    if layout == "nkl":
+        k, i, j, _, _ = _im2col_index_cache(channels, height, width,
+                                            kernel[0], kernel[1], stride[0], stride[1])
+    elif layout == "nlk":
+        k, i, j, _, _ = _im2col_index_cache_nlk(channels, height, width,
+                                                kernel[0], kernel[1], stride[0], stride[1])
+    else:
+        raise ValueError(f"unknown layout {layout!r}; expected 'nkl' or 'nlk'")
+    return x[:, k, i, j]
 
 
 def unfold(x: Tensor, kernel_size: IntPair, stride: IntPair = 1,

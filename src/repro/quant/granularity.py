@@ -10,7 +10,9 @@ tiled weight / partial-sum layouts used by :mod:`repro.core`.
 Tiled layouts
 -------------
 * tiled weights: ``(n_arrays, rows_per_array, out_channels)``
-* partial sums:  ``(n_splits, n_arrays, batch, L, out_channels)``
+* partial sums:  ``(n_splits, n_arrays, batch, L, out_channels)`` — the
+  canonical ``(S, A, N, L, OC)`` convention documented in
+  :mod:`repro.core.psum`.
 """
 
 from __future__ import annotations

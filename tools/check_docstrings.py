@@ -1,0 +1,93 @@
+"""AST-based docstring checker for the public API.
+
+Fails (exit code 1) when a public module, class, function or method in the
+given files / directories lacks a docstring.  "Public" means the name does
+not start with an underscore and, for modules, the file is not a test.
+Dunder methods and ``__init__`` are exempt (the class docstring covers
+construction), as are trivial overrides consisting only of a docstring-less
+``pass`` — there are none today, so the rule stays simple.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/engine src/repro/core/psum.py
+
+Used by the ``docs-check`` Makefile target.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+DEFAULT_TARGETS = (
+    "src/repro/engine",
+    "src/repro/core/psum.py",
+    "src/repro/cim/cost.py",
+)
+
+
+def python_files(target: str) -> Iterator[str]:
+    """Yield the .py files under a file or directory target."""
+    if os.path.isfile(target):
+        yield target
+        return
+    for root, _dirs, files in os.walk(target):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: str) -> List[Tuple[str, int, str]]:
+    """Return ``(qualified_name, lineno, kind)`` for each undocumented public API."""
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems: List[Tuple[str, int, str]] = []
+    if ast.get_docstring(tree) is None:
+        problems.append((os.path.basename(path), 1, "module"))
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                qualified = f"{prefix}{name}"
+                if _is_public(name):
+                    if ast.get_docstring(child) is None:
+                        kind = "class" if isinstance(child, ast.ClassDef) else "function"
+                        problems.append((qualified, child.lineno, kind))
+                    if isinstance(child, ast.ClassDef):
+                        visit(child, f"{qualified}.")
+
+    visit(tree, "")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every target; print offenders and return a shell exit code."""
+    targets = argv or list(DEFAULT_TARGETS)
+    failures = 0
+    checked = 0
+    for target in targets:
+        if not os.path.exists(target):
+            print(f"error: no such file or directory: {target}", file=sys.stderr)
+            return 2
+        for path in python_files(target):
+            checked += 1
+            for qualified, lineno, kind in missing_docstrings(path):
+                print(f"{path}:{lineno}: undocumented public {kind}: {qualified}")
+                failures += 1
+    if failures:
+        print(f"\ndocs-check: {failures} undocumented public API(s) "
+              f"across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
