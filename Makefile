@@ -1,5 +1,6 @@
 # Development targets for the CIM column-wise quantization reproduction.
 #
+#   make verify       - the one-command gate: tier-1 tests + docs-check + bench-smoke
 #   make test         - tier-1 test suite (unit + property + integration)
 #   make test-engine  - just the frozen-engine suite
 #   make bench-smoke  - fast smoke pass over the benchmark harness
@@ -12,7 +13,9 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: test test-engine bench-smoke bench-engine docs-check install
+.PHONY: verify test test-engine bench-smoke bench-engine docs-check install
+
+verify: test docs-check bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,7 +30,7 @@ bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
 
 docs-check:
-	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/core/psum.py src/repro/cim/cost.py
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/core/psum.py src/repro/core/pipeline.py src/repro/cim/cost.py
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop

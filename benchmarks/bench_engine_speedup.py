@@ -13,11 +13,17 @@ topology — in both partial-sum-quantization modes and checks:
   including with partial-sum quantization enabled.
 
 Run directly (``python benchmarks/bench_engine_speedup.py``) or through
-pytest (``pytest benchmarks/bench_engine_speedup.py``).
+pytest (``pytest benchmarks/bench_engine_speedup.py``).  Either entry point
+writes a ``BENCH_engine.json`` artifact (override the location with
+``REPRO_BENCH_ARTIFACT``) so the engine's perf trajectory can be tracked
+across changes; ``tiny``-scale smoke runs skip the write, keeping the
+tracked artifact at comparable default-scale numbers.
 """
 
+import json
 import os
 import time
+from typing import Optional
 
 import numpy as np
 
@@ -84,6 +90,34 @@ def run_engine_speedup():
     return results
 
 
+def write_artifact(results, path=None) -> Optional[str]:
+    """Write the benchmark results to a ``BENCH_engine.json`` artifact.
+
+    Defaults to the repository root (next to ``Makefile``); override with the
+    ``REPRO_BENCH_ARTIFACT`` environment variable or the ``path`` argument.
+    At the ``tiny`` smoke scale the timings are not comparable to the tracked
+    default-scale trajectory, so nothing is written unless an explicit path
+    says otherwise — ``make bench-smoke`` must not clobber the artifact.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_BENCH_ARTIFACT")
+    if path is None:
+        if bench_scale() == "tiny":
+            return None
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_engine.json")
+    payload = {
+        "benchmark": "engine_speedup",
+        "scale": bench_scale(),
+        "unix_time": time.time(),
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return os.path.abspath(path)
+
+
 def _report(results) -> None:
     print()
     header = f"{'mode':10} {'seed ms':>9} {'frozen ms':>10} {'speedup':>8} {'im/s seed':>10} {'im/s frozen':>12} {'max|diff|':>10}"
@@ -106,6 +140,7 @@ def test_engine_speedup_and_equivalence():
     """
     results = run_engine_speedup()
     _report(results)
+    write_artifact(results)
     for mode, row in results.items():
         assert row["max_abs_diff"] <= 1e-10, (
             f"{mode}: frozen output drifted by {row['max_abs_diff']:.2e}")
@@ -119,4 +154,8 @@ def test_engine_speedup_and_equivalence():
 
 
 if __name__ == "__main__":
-    _report(run_engine_speedup())
+    _results = run_engine_speedup()
+    _report(_results)
+    _path = write_artifact(_results)
+    if _path:
+        print(f"\nartifact: {_path}")

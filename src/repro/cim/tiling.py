@@ -39,7 +39,8 @@ import numpy as np
 from .config import CIMConfig
 
 __all__ = ["ArrayTile", "WeightMapping", "build_mapping", "build_linear_mapping",
-           "rows_utilization", "mapping_to_dict", "mapping_from_dict"]
+           "rows_utilization", "valid_rows_mask", "mapping_to_dict",
+           "mapping_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -196,6 +197,22 @@ def build_linear_mapping(in_features: int, out_features: int, weight_bits: int,
         config=config,
         strategy="im2col",
     )
+
+
+def valid_rows_mask(mapping: WeightMapping) -> np.ndarray:
+    """``(A, R, 1)`` mask marking word lines that hold real weights.
+
+    The tiled simulation layout zero-pads every array to ``rows_per_array``
+    word lines; this mask is 1.0 on rows backed by an actual tile row and 0.0
+    on padding.  Built vectorised (no per-tile Python loop) and cached by
+    :class:`repro.core.pipeline.LayerGeometry`, since it only depends on the
+    mapping — layers and compiled plans share one copy.
+    """
+    lengths = np.zeros(mapping.n_arrays_row)
+    for tile in mapping.tiles:
+        lengths[tile.index] = tile.rows
+    rows = np.arange(mapping.rows_per_array)
+    return (rows[None, :] < lengths[:, None]).astype(np.float64)[:, :, None]
 
 
 def rows_utilization(mapping: WeightMapping) -> float:

@@ -10,12 +10,16 @@ from .cim_linear import CIMLinear
 from .convert import (apply_variation, attach_recorders, cim_layers, convert_to_cim,
                       model_mappings, model_overhead, scale_parameters,
                       set_psum_quant_enabled, weight_parameters)
+from .pipeline import (CIMLayerBase, CIMPipeline, ConvAdapter, LayerGeometry,
+                       LinearAdapter, varied_splits)
 from .psum import ColumnStatistics, PartialSumRecorder
 from .schemes import (SCHEME_REGISTRY, SchemeInfo, all_granularity_combinations,
                       get_scheme, related_work_schemes, table1_rows)
 
 __all__ = [
     "CIMConv2d", "CIMLinear",
+    "CIMPipeline", "CIMLayerBase", "LayerGeometry",
+    "ConvAdapter", "LinearAdapter", "varied_splits",
     "PartialSumRecorder", "ColumnStatistics",
     "SCHEME_REGISTRY", "SchemeInfo", "get_scheme", "related_work_schemes",
     "all_granularity_combinations", "table1_rows",

@@ -1,32 +1,21 @@
 """CIM convolution layer with granularity-aligned weight / partial-sum quantization.
 
-:class:`CIMConv2d` implements the convolution framework of Sec. III-C:
-
-1. quantize the activations (LSQ, unsigned, layer-wise);
-2. quantize the weights with LSQ at layer-, array- or column-wise granularity
-   *on the tiled weight layout*, so column groups coincide with physical
-   crossbar columns;
-3. split the integer weights into per-cell bit slices (Fig. 5 "extract a bit
-   split"), one slice per ``cell_bits`` of weight precision;
-4. tile the unrolled weight matrix across crossbar arrays
-   (kernel-preserving or im2col tiling);
-5. perform the per-array MAC for all arrays and bit-splits at once — the
-   NumPy equivalent of the paper's group convolution with
-   ``groups = n_arrays``;
-6. quantize the resulting partial sums per layer / array / column
-   (the ADC model), optionally after injecting memory-cell variation;
-7. dequantize with the folded ``s_w * s_p * s_a`` scale of each column and
-   shift-and-add the bit-splits into the layer output.
+:class:`CIMConv2d` realises the convolution framework of Sec. III-C:
+activation LSQ → tiled weight LSQ → bit-splitting → per-array MAC → ADC
+partial-sum quantization → folded dequant / shift-and-add.  The stage math
+itself lives in :mod:`repro.core.pipeline` — this class only builds the
+parameters, quantizers and crossbar mapping, and hands every forward to the
+shared :class:`~repro.core.pipeline.CIMPipeline` through a conv
+unfold/fold adapter.  The frozen engine (:func:`repro.engine.freeze`)
+compiles its deployment plans from the *same* stage list, so QAT and engine
+outputs agree by construction.
 
 With partial-sum quantization disabled and no variation, the layer is
 numerically identical to an ordinary convolution over the fake-quantized
 weights and activations — this equivalence is checked by the test-suite.
 
 Partial sums follow the canonical ``(S, A, N, L, OC)`` axis convention
-documented in :mod:`repro.core.psum`.  This forward recomputes quantization,
-bit-splitting and tiling every call (as QAT requires); for deployment,
-:func:`repro.engine.freeze` swaps the layer into a compiled fast path that
-caches all of it and matches this implementation numerically.
+documented in :mod:`repro.core.psum`.
 """
 
 from __future__ import annotations
@@ -38,15 +27,11 @@ import numpy as np
 
 from ..cim.config import CIMConfig, QuantScheme
 from ..cim.tiling import WeightMapping, build_mapping
-from ..cim.variation import VariationModel
-from ..nn import functional as F
 from ..nn import init
-from ..nn.module import Module
-from ..nn.tensor import Parameter, Tensor
-from ..quant.bitsplit import split_tensor_ste
-from ..quant.granularity import Granularity, psum_scale_shape, weight_scale_shape
+from ..nn.tensor import Parameter
+from ..quant.granularity import psum_scale_shape, weight_scale_shape
 from ..quant.lsq import LSQQuantizer
-from .psum import PartialSumRecorder
+from .pipeline import CIMLayerBase, LayerGeometry
 
 __all__ = ["CIMConv2d"]
 
@@ -57,7 +42,7 @@ def _pair(value: IntPair) -> Tuple[int, int]:
     return (value, value) if isinstance(value, int) else value
 
 
-class CIMConv2d(Module):
+class CIMConv2d(CIMLayerBase):
     """Convolution executed on a simulated CIM macro.
 
     Parameters
@@ -100,17 +85,15 @@ class CIMConv2d(Module):
         else:
             self.bias = None
 
-        # ---------------- mapping & bit-splitting ----------------------- #
+        # ---------------- mapping & quantizers --------------------------- #
         self.mapping: WeightMapping = build_mapping(
             in_channels, out_channels, self.kernel_size,
             self.scheme.weight_bits, self.cim_config)
-        self.bitsplit = self.cim_config.bitsplit(self.scheme.weight_bits)
-        self._shift_factors = self.bitsplit.shift_factors
+        bitsplit = self.cim_config.bitsplit(self.scheme.weight_bits)
 
         n_arrays = self.mapping.n_arrays_row
-        n_splits = self.bitsplit.n_splits
+        n_splits = bitsplit.n_splits
 
-        # ---------------- quantizers ------------------------------------ #
         w_shape = weight_scale_shape(self.scheme.weight_granularity, n_arrays, out_channels)
         self.weight_quant = LSQQuantizer(self.scheme.weight_bits, signed=True,
                                          scale_shape=w_shape)
@@ -127,164 +110,11 @@ class CIMConv2d(Module):
         if not self.scheme.learnable_psum_scale:
             self.psum_quant.scale.requires_grad = False
 
-        # runtime switches ------------------------------------------------ #
-        self.psum_quant_enabled = self.scheme.quantize_psum
-        self.variation: Optional[VariationModel] = None
-        self.recorder: Optional[PartialSumRecorder] = None
-        self.layer_name: str = ""
-
-    # ------------------------------------------------------------------ #
-    # configuration helpers
-    # ------------------------------------------------------------------ #
-    def set_psum_quant_enabled(self, enabled: bool) -> None:
-        """Toggle partial-sum quantization (used by the two-stage QAT baseline)."""
-        self.psum_quant_enabled = bool(enabled)
-
-    def set_variation(self, variation: Optional[VariationModel]) -> None:
-        """Attach (or remove) a memory-cell variation model used at inference."""
-        self.variation = variation
-
-    def attach_recorder(self, recorder: Optional[PartialSumRecorder],
-                        layer_name: str = "") -> None:
-        """Attach a :class:`PartialSumRecorder` receiving this layer's partial sums."""
-        self.recorder = recorder
-        if layer_name:
-            self.layer_name = layer_name
-
-    @property
-    def n_arrays(self) -> int:
-        return self.mapping.n_arrays_row
-
-    @property
-    def n_splits(self) -> int:
-        return self.bitsplit.n_splits
-
-    # ------------------------------------------------------------------ #
-    # weight preparation
-    # ------------------------------------------------------------------ #
-    def _tiled_weight(self) -> Tensor:
-        """Return the zero-padded tiled weight of shape ``(A, R, OC)``."""
-        kh, kw = self.kernel_size
-        d = self.in_channels * kh * kw
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        # (OC, IC, kh, kw) -> (IC, kh, kw, OC) -> (D, OC); row order matches unfold
-        w_mat = self.weight.transpose(1, 2, 3, 0).reshape(d, self.out_channels)
-        pad_rows = n_arrays * rows - d
-        if pad_rows:
-            w_mat = w_mat.pad(((0, pad_rows), (0, 0)))
-        return w_mat.reshape(n_arrays, rows, self.out_channels)
-
-    def _valid_rows_mask(self) -> np.ndarray:
-        """Boolean mask over ``(A, R, 1)`` marking rows that hold real weights."""
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        mask = np.zeros((n_arrays, rows, 1))
-        for tile in self.mapping.tiles:
-            mask[tile.index, :tile.rows, :] = 1.0
-        return mask
-
-    def quantized_weight(self) -> Tuple[Tensor, Tensor]:
-        """Return ``(integer tiled weight, weight scale)``; both differentiable."""
-        tiled = self._tiled_weight()
-        if not self.weight_quant.is_initialized():
-            # exclude zero padding rows from the scale statistics
-            self.weight_quant.initialize_from(tiled.data, valid_mask=self._valid_rows_mask())
-        return self.weight_quant.quantize_int(tiled)
-
-    def reconstructed_weight(self) -> Tensor:
-        """Fake-quantized weight folded back to ``(OC, IC, kh, kw)`` layout.
-
-        Used by tests and by the dequantization-equivalence analysis: running
-        a plain convolution with this weight must match the CIM pipeline when
-        partial-sum quantization is disabled.
-        """
-        w_bar, s_w = self.quantized_weight()
-        w_hat = w_bar * s_w  # (A, R, OC)
-        kh, kw = self.kernel_size
-        d = self.in_channels * kh * kw
-        flat = w_hat.reshape(self.mapping.n_arrays_row * self.mapping.rows_per_array,
-                             self.out_channels)
-        flat = flat[:d, :]
-        return flat.reshape(self.in_channels, kh, kw, self.out_channels).transpose(3, 0, 1, 2)
-
-    # ------------------------------------------------------------------ #
-    # forward
-    # ------------------------------------------------------------------ #
-    def forward(self, x: Tensor) -> Tensor:
-        n, c, h, w = x.shape
-        if c != self.in_channels:
-            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
-        kh, kw = self.kernel_size
-        out_h = F.conv_output_size(h, kh, self.stride[0], self.padding[0])
-        out_w = F.conv_output_size(w, kw, self.stride[1], self.padding[1])
-        length = out_h * out_w
-
-        # 1. activation quantization (integer codes + scale)
-        if self.act_quant is not None:
-            a_int, s_a = self.act_quant.quantize_int(x)
-        else:
-            a_int, s_a = x, Tensor(np.ones(1))
-
-        # 2. weight quantization on the tiled layout
-        w_bar, s_w = self.quantized_weight()            # (A, R, OC), scale
-
-        # 3. bit-splitting into per-cell slices
-        splits = split_tensor_ste(w_bar, self.bitsplit)  # (S, A, R, OC)
-
-        # 4. memory-cell variation (inference-time non-ideality, Eq. 5)
-        if self.variation is not None and self.variation.enabled:
-            if self.variation.target == "cells":
-                # every programmed cell drifts independently
-                splits = Tensor(self.variation.perturb(splits.data))
-            else:
-                # all cells of one weight drift together: scale each slice by
-                # the ratio between the varied and the ideal integer weight
-                w_var = self.variation.perturb(w_bar.data)
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    ratio = np.where(w_bar.data != 0, w_var / w_bar.data, 1.0)
-                splits = Tensor(splits.data * ratio[None, ...])
-
-        # 5. unfold activations and tile rows to match the arrays
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        d = self.in_channels * kh * kw
-        cols = F.unfold(a_int, self.kernel_size, self.stride, self.padding)  # (N, D, L)
-        pad_rows = n_arrays * rows - d
-        if pad_rows:
-            cols = cols.pad(((0, 0), (0, pad_rows), (0, 0)))
-        cols = cols.reshape(n, n_arrays, rows, length)
-        cols = cols.transpose(1, 0, 3, 2)                # (A, N, L, R)
-        cols = cols.expand_dims(0)                       # (1, A, N, L, R)
-
-        w_splits = splits.reshape(self.n_splits, n_arrays, 1, rows, self.out_channels)
-
-        # 6. per-array MAC for every bit split (group convolution equivalent)
-        psum = cols.matmul(w_splits)                     # (S, A, N, L, OC)
-
-        if self.recorder is not None:
-            self.recorder.record(self.layer_name or "cim_conv2d", psum.data)
-
-        # 7. partial-sum quantization (ADC)
-        if self.psum_quant_enabled:
-            p_bar, s_p = self.psum_quant.quantize_int(psum)
-            psum_deq = p_bar * s_p
-        else:
-            psum_deq = psum
-
-        # 8. dequantize (folded column scale) and shift-and-add over splits/arrays
-        # the weight scale has shape (A or 1, 1, OC or 1); align it with the
-        # partial-sum layout (S, A, N, L, OC)
-        s_w_b = s_w.reshape(1, s_w.shape[0], 1, 1, s_w.shape[2])
-        shifts = Tensor(self._shift_factors.reshape(self.n_splits, 1, 1, 1, 1))
-        contrib = psum_deq * shifts * s_w_b
-        out = contrib.sum(axis=(0, 1))                   # (N, L, OC)
-        out = out * s_a
-        out = out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
-
-        if self.bias is not None:
-            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
-        return out
+        # ---------------- shared pipeline -------------------------------- #
+        self._finalize_cim(LayerGeometry(
+            layer_type="conv2d", mapping=self.mapping, bitsplit=bitsplit,
+            in_channels=in_channels, kernel_size=self.kernel_size,
+            stride=self.stride, padding=self.padding))
 
     # ------------------------------------------------------------------ #
     def extra_repr(self) -> str:

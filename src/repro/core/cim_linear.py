@@ -1,7 +1,9 @@
 """Fully-connected layer executed on a simulated CIM macro.
 
-Identical quantization pipeline to :class:`~repro.core.cim_conv.CIMConv2d`
-but for a matrix-vector product: the classifier head of ResNet is mapped onto
+Identical quantization pipeline to :class:`~repro.core.cim_conv.CIMConv2d` —
+literally: both delegate to the shared staged
+:class:`~repro.core.pipeline.CIMPipeline`, and differ only in the
+unfold/fold adapter pair.  The classifier head of ResNet is mapped onto
 crossbar arrays the same way (rows = input features, columns = classes).
 
 Partial sums are laid out as ``(S, A, N, OC)`` — the canonical
@@ -13,25 +15,22 @@ path for this layer as well.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..cim.config import CIMConfig, QuantScheme
 from ..cim.tiling import WeightMapping, build_linear_mapping
-from ..cim.variation import VariationModel
 from ..nn import init
-from ..nn.module import Module
-from ..nn.tensor import Parameter, Tensor
-from ..quant.bitsplit import split_tensor_ste
+from ..nn.tensor import Parameter
 from ..quant.granularity import psum_scale_shape, weight_scale_shape
 from ..quant.lsq import LSQQuantizer
-from .psum import PartialSumRecorder
+from .pipeline import CIMLayerBase, LayerGeometry
 
 __all__ = ["CIMLinear"]
 
 
-class CIMLinear(Module):
+class CIMLinear(CIMLayerBase):
     """Linear layer with granularity-aligned weight / partial-sum quantization."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
@@ -57,11 +56,10 @@ class CIMLinear(Module):
 
         self.mapping: WeightMapping = build_linear_mapping(
             in_features, out_features, self.scheme.weight_bits, self.cim_config)
-        self.bitsplit = self.cim_config.bitsplit(self.scheme.weight_bits)
-        self._shift_factors = self.bitsplit.shift_factors
+        bitsplit = self.cim_config.bitsplit(self.scheme.weight_bits)
 
         n_arrays = self.mapping.n_arrays_row
-        n_splits = self.bitsplit.n_splits
+        n_splits = bitsplit.n_splits
 
         w_shape = weight_scale_shape(self.scheme.weight_granularity, n_arrays, out_features)
         self.weight_quant = LSQQuantizer(self.scheme.weight_bits, signed=True,
@@ -81,114 +79,10 @@ class CIMLinear(Module):
         if not self.scheme.learnable_psum_scale:
             self.psum_quant.scale.requires_grad = False
 
-        self.psum_quant_enabled = self.scheme.quantize_psum
-        self.variation: Optional[VariationModel] = None
-        self.recorder: Optional[PartialSumRecorder] = None
-        self.layer_name: str = ""
+        self._finalize_cim(LayerGeometry(
+            layer_type="linear", mapping=self.mapping, bitsplit=bitsplit))
 
     # ------------------------------------------------------------------ #
-    def set_psum_quant_enabled(self, enabled: bool) -> None:
-        self.psum_quant_enabled = bool(enabled)
-
-    def set_variation(self, variation: Optional[VariationModel]) -> None:
-        self.variation = variation
-
-    def attach_recorder(self, recorder: Optional[PartialSumRecorder],
-                        layer_name: str = "") -> None:
-        self.recorder = recorder
-        if layer_name:
-            self.layer_name = layer_name
-
-    @property
-    def n_arrays(self) -> int:
-        return self.mapping.n_arrays_row
-
-    @property
-    def n_splits(self) -> int:
-        return self.bitsplit.n_splits
-
-    # ------------------------------------------------------------------ #
-    def _tiled_weight(self) -> Tensor:
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        w_mat = self.weight.transpose()                  # (in, out)
-        pad_rows = n_arrays * rows - self.in_features
-        if pad_rows:
-            w_mat = w_mat.pad(((0, pad_rows), (0, 0)))
-        return w_mat.reshape(n_arrays, rows, self.out_features)
-
-    def _valid_rows_mask(self) -> np.ndarray:
-        """Boolean mask over ``(A, R, 1)`` marking rows that hold real weights."""
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        mask = np.zeros((n_arrays, rows, 1))
-        for tile in self.mapping.tiles:
-            mask[tile.index, :tile.rows, :] = 1.0
-        return mask
-
-    def quantized_weight(self) -> Tuple[Tensor, Tensor]:
-        tiled = self._tiled_weight()
-        if not self.weight_quant.is_initialized():
-            self.weight_quant.initialize_from(tiled.data, valid_mask=self._valid_rows_mask())
-        return self.weight_quant.quantize_int(tiled)
-
-    def reconstructed_weight(self) -> Tensor:
-        w_bar, s_w = self.quantized_weight()
-        w_hat = (w_bar * s_w).reshape(self.mapping.n_arrays_row * self.mapping.rows_per_array,
-                                      self.out_features)
-        return w_hat[:self.in_features, :].transpose()
-
-    # ------------------------------------------------------------------ #
-    def forward(self, x: Tensor) -> Tensor:
-        if x.ndim != 2 or x.shape[1] != self.in_features:
-            raise ValueError(f"expected input of shape (N, {self.in_features}), got {x.shape}")
-        n = x.shape[0]
-
-        if self.act_quant is not None:
-            a_int, s_a = self.act_quant.quantize_int(x)
-        else:
-            a_int, s_a = x, Tensor(np.ones(1))
-
-        w_bar, s_w = self.quantized_weight()             # (A, R, OC)
-        splits = split_tensor_ste(w_bar, self.bitsplit)  # (S, A, R, OC)
-
-        if self.variation is not None and self.variation.enabled:
-            if self.variation.target == "cells":
-                splits = Tensor(self.variation.perturb(splits.data))
-            else:
-                w_var = self.variation.perturb(w_bar.data)
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    ratio = np.where(w_bar.data != 0, w_var / w_bar.data, 1.0)
-                splits = Tensor(splits.data * ratio[None, ...])
-
-        n_arrays = self.mapping.n_arrays_row
-        rows = self.mapping.rows_per_array
-        pad = n_arrays * rows - self.in_features
-        a_padded = a_int.pad(((0, 0), (0, pad))) if pad else a_int
-        a_tiled = a_padded.reshape(n, n_arrays, rows).transpose(1, 0, 2)  # (A, N, R)
-        a_tiled = a_tiled.expand_dims(0)                                  # (1, A, N, R)
-
-        w_splits = splits                                                  # (S, A, R, OC)
-        psum = a_tiled.matmul(w_splits)                                    # (S, A, N, OC)
-
-        if self.recorder is not None:
-            self.recorder.record(self.layer_name or "cim_linear", psum.data)
-
-        if self.psum_quant_enabled:
-            p_bar, s_p = self.psum_quant.quantize_int(psum)
-            psum_deq = p_bar * s_p
-        else:
-            psum_deq = psum
-
-        # weight scale (A or 1, 1, OC or 1) aligned with psum layout (S, A, N, OC)
-        s_w_b = s_w.reshape(1, s_w.shape[0], 1, s_w.shape[2])
-        shifts = Tensor(self._shift_factors.reshape(self.n_splits, 1, 1, 1))
-        out = (psum_deq * shifts * s_w_b).sum(axis=(0, 1)) * s_a           # (N, OC)
-
-        if self.bias is not None:
-            out = out + self.bias
-        return out
-
     def extra_repr(self) -> str:
         return (f"in={self.in_features}, out={self.out_features}, "
                 f"scheme={self.scheme.label()}, arrays={self.n_arrays}, "

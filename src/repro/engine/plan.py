@@ -15,6 +15,11 @@ overhead.  A *plan* snapshots all of it once, at freeze time:
   the deployment folding of Fig. 4(d) of the paper),
 * a pre-reshaped weight operand for a single batched GEMM per layer.
 
+The snapshot is not re-derived here: :meth:`repro.core.pipeline.CIMPipeline.
+compile_state` walks the *same stage list* that executes the QAT forward and
+asks each stage for its static arrays.  Whatever math a stage computes at
+training time is, by construction, the math the compiled plan caches.
+
 Two execution strategies are compiled into every plan:
 
 fused path (partial-sum quantization disabled, no recorder)
@@ -44,9 +49,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..cim.tiling import WeightMapping, mapping_from_dict, mapping_to_dict
+from ..core.pipeline import varied_splits
 from ..nn import functional as F
-from ..nn.tensor import no_grad
-from ..quant.bitsplit import split_tensor_ste
 
 __all__ = [
     "ConvPlan",
@@ -183,16 +187,13 @@ class _PlanBase:
     def _varied_splits(self, variation) -> np.ndarray:
         """Apply a device-variation model to the cached cell codes.
 
-        Mirrors the seed layers exactly — including the RNG draw order — so a
-        frozen layer with the same :class:`~repro.cim.variation.VariationModel`
-        state produces the same perturbed cells as the unfrozen one.
+        Delegates to the layers' own
+        :func:`~repro.core.pipeline.varied_splits` — same math, same RNG draw
+        order — so a frozen layer with the same
+        :class:`~repro.cim.variation.VariationModel` state produces the same
+        perturbed cells as the unfrozen one.
         """
-        if variation.target == "cells":
-            return variation.perturb(self.splits)
-        w_var = variation.perturb(self.w_bar)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(self.w_bar != 0, w_var / self.w_bar, 1.0)
-        return self.splits * ratio[None, ...]
+        return varied_splits(self.splits, self.w_bar, variation)
 
     def _varied_wsplit_mats(self, variation) -> list:
         """Per-array ``(rows_a, S*OC)`` operands under device variation."""
@@ -294,59 +295,18 @@ class LinearPlan(_PlanBase):
 # compilation
 # --------------------------------------------------------------------------- #
 def _snapshot_common(layer, signature) -> dict:
-    """Detached copies of everything both plan kinds cache."""
-    with no_grad():
-        w_bar_t, s_w_t = layer.quantized_weight()
-        splits_t = split_tensor_ste(w_bar_t, layer.bitsplit)
-    w_bar = np.array(w_bar_t.data, dtype=np.float64, copy=True)
-    splits = np.array(splits_t.data, dtype=np.float64, copy=True)
-    s_w = np.array(s_w_t.data, dtype=np.float64, copy=True)
-    w_eff = np.ascontiguousarray(
-        (w_bar * s_w).reshape(-1, layer.mapping.out_channels))
+    """Detached copies of everything both plan kinds cache.
 
-    if layer.act_quant is not None:
-        act_scale = layer.act_quant.scale.data.copy()
-        act_qmin = float(layer.act_quant.qmin)
-        act_qmax = float(layer.act_quant.qmax)
-    else:
-        act_scale, act_qmin, act_qmax = None, 0.0, 0.0
-
-    psum_enabled = bool(layer.psum_quant_enabled)
-    if psum_enabled:
-        raw = layer.psum_quant.scale.data
-        if raw.ndim == 5:        # conv layout (S|1, A|1, 1, 1, OC|1)
-            s_p = raw.reshape(raw.shape[0], raw.shape[1], raw.shape[4]).copy()
-        else:                    # linear layout (S|1, A|1, 1, OC|1)
-            s_p = raw.reshape(raw.shape[0], raw.shape[1], raw.shape[3]).copy()
-        psum_qmin = float(layer.psum_quant.qmin)
-        psum_qmax = float(layer.psum_quant.qmax)
-    else:
-        s_p, psum_qmin, psum_qmax = None, 0.0, 0.0
-
-    return dict(
-        out_channels=layer.mapping.out_channels,
-        n_arrays=layer.mapping.n_arrays_row,
-        rows_per_array=layer.mapping.rows_per_array,
-        n_splits=layer.bitsplit.n_splits,
-        pad_rows=(layer.mapping.n_arrays_row * layer.mapping.rows_per_array
-                  - layer.mapping.in_features),
-        w_bar=w_bar,
-        splits=splits,
-        s_w=s_w,
-        valid_mask=layer._valid_rows_mask(),
-        shift_factors=np.asarray(layer._shift_factors, dtype=np.float64).copy(),
-        w_eff_mat=w_eff,
-        bias=None if layer.bias is None else layer.bias.data.copy(),
-        act_scale=act_scale,
-        act_qmin=act_qmin,
-        act_qmax=act_qmax,
-        psum_quant_enabled=psum_enabled,
-        s_p=s_p,
-        psum_qmin=psum_qmin,
-        psum_qmax=psum_qmax,
-        mapping=layer.mapping,
-        signature=signature,
-    )
+    Compiled from the layer's own stage list: each
+    :class:`~repro.core.pipeline.PipelineStage` contributes the static arrays
+    it would compute in the QAT forward (weight codes, bit-splits, quantizer
+    snapshots, the fused dequant operand), and the
+    :class:`~repro.core.pipeline.LayerGeometry` contributes the structural
+    fields.  The plan never re-derives stage math.
+    """
+    state = layer.pipeline.compile_state()
+    state["signature"] = signature
+    return state
 
 
 def compile_conv_plan(layer) -> ConvPlan:

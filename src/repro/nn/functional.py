@@ -134,7 +134,7 @@ def unfold_array(x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1,
 
 
 def unfold(x: Tensor, kernel_size: IntPair, stride: IntPair = 1,
-           padding: IntPair = 0) -> Tensor:
+           padding: IntPair = 0, layout: str = "nkl") -> Tensor:
     """im2col: extract sliding local blocks.
 
     Parameters
@@ -143,13 +143,17 @@ def unfold(x: Tensor, kernel_size: IntPair, stride: IntPair = 1,
         Input of shape ``(N, C, H, W)``.
     kernel_size, stride, padding:
         Convolution geometry.
+    layout:
+        ``"nkl"`` returns ``(N, C*kh*kw, L)``, matching
+        ``torch.nn.functional.unfold``; ``"nlk"`` returns ``(N, L, C*kh*kw)``,
+        the layout the CIM pipeline's MAC stage consumes directly — choosing
+        it here avoids a large transpose node in the autograd graph.
 
     Returns
     -------
     Tensor
-        Shape ``(N, C*kh*kw, L)`` where ``L = out_h * out_w``, matching
-        ``torch.nn.functional.unfold``.  The backward pass scatter-adds the
-        gradient back into the input (col2im).
+        Columns in the requested layout, where ``L = out_h * out_w``.  The
+        backward pass scatter-adds the gradient back into the input (col2im).
     """
     kernel = _pair(kernel_size)
     stride = _pair(stride)
@@ -158,8 +162,16 @@ def unfold(x: Tensor, kernel_size: IntPair, stride: IntPair = 1,
     ph, pw = padding
 
     x_padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-    k, i, j, out_h, out_w = _im2col_indices(x_padded.shape, kernel, stride)
-    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, L)
+    _, channels, height, width = x_padded.shape
+    if layout == "nkl":
+        k, i, j, out_h, out_w = _im2col_index_cache(
+            channels, height, width, kernel[0], kernel[1], stride[0], stride[1])
+    elif layout == "nlk":
+        k, i, j, out_h, out_w = _im2col_index_cache_nlk(
+            channels, height, width, kernel[0], kernel[1], stride[0], stride[1])
+    else:
+        raise ValueError(f"unknown layout {layout!r}; expected 'nkl' or 'nlk'")
+    cols = x_padded[:, k, i, j]  # (N, K, L) or (N, L, K)
 
     padded_shape = x_padded.shape
     input_shape = x.shape

@@ -74,6 +74,10 @@ class QATTrainer:
 
     # ------------------------------------------------------------------ #
     def _build_optimizer(self) -> Optimizer:
+        # Every group carries its own lr / weight_decay: the per-group values
+        # are the single source of truth, and nothing is duplicated into the
+        # SGD defaults where it could silently leak into a group that forgot
+        # to set its own (the LSQ scale group must never see weight decay).
         weights = weight_parameters(self.model)
         scales = scale_parameters(self.model)
         groups = [{"params": weights, "lr": self.config.lr,
@@ -82,8 +86,7 @@ class QATTrainer:
             groups.append({"params": scales,
                            "lr": self.config.lr * self.config.scale_lr_factor,
                            "weight_decay": 0.0})
-        return SGD(groups, lr=self.config.lr, momentum=self.config.momentum,
-                   weight_decay=self.config.weight_decay)
+        return SGD(groups, momentum=self.config.momentum)
 
     # ------------------------------------------------------------------ #
     def train_epoch(self) -> Dict[str, float]:

@@ -48,6 +48,26 @@ class TestUnfold:
         x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
         gradcheck(lambda: (F.unfold(x, 3, stride=1, padding=1) ** 2).sum(), [x])
 
+    def test_unfold_nlk_layout_matches_transposed_nkl(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)))
+        nkl = F.unfold(x, 3, stride=2, padding=1)
+        nlk = F.unfold(x, 3, stride=2, padding=1, layout="nlk")
+        np.testing.assert_array_equal(nlk.data.transpose(0, 2, 1), nkl.data)
+
+    def test_unfold_nlk_backward_matches_nkl(self, rng):
+        """The col2im scatter-add must be layout-agnostic."""
+        upstream_nkl = rng.normal(size=(1, 2 * 4, 4))
+        x1 = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        F.unfold(x1, 2, stride=2).backward(upstream_nkl)
+        x2 = Tensor(x1.data, requires_grad=True)
+        F.unfold(x2, 2, stride=2, layout="nlk").backward(
+            upstream_nkl.transpose(0, 2, 1))
+        np.testing.assert_allclose(x2.grad, x1.grad)
+
+    def test_unfold_unknown_layout_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.unfold(Tensor(rng.normal(size=(1, 1, 4, 4))), 2, layout="bogus")
+
     def test_conv_output_size(self):
         assert F.conv_output_size(32, 3, 1, 1) == 32
         assert F.conv_output_size(32, 3, 2, 1) == 16

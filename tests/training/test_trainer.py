@@ -83,6 +83,30 @@ class TestQATTrainer:
         assert trainer.optimizer.param_groups[1]["lr"] == pytest.approx(0.01)
         assert trainer.optimizer.param_groups[1]["weight_decay"] == 0.0
 
+    def test_per_group_hyperparams_are_single_source_of_truth(self, loaders):
+        """Regression: lr / weight_decay must live only in the param groups.
+
+        The builder used to pass them both per-group and as SGD top-level
+        kwargs; if a group ever dropped its own value, the duplicated default
+        would silently apply (e.g. weight decay on LSQ scales).  Now the
+        optimizer defaults must stay at the SGD built-ins and every group must
+        carry explicit values derived from the trainer config."""
+        train, test = loaders
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=2)
+        model = TinyCNN(num_classes=4, width=4, scheme=QuantScheme(), cim_config=cfg)
+        config = TrainerConfig(epochs=1, lr=0.3, weight_decay=0.123,
+                               scale_lr_factor=0.5)
+        trainer = QATTrainer(model, train, test, config)
+        groups = trainer.optimizer.param_groups
+        assert groups[0]["lr"] == pytest.approx(0.3)
+        assert groups[0]["weight_decay"] == pytest.approx(0.123)
+        assert groups[1]["lr"] == pytest.approx(0.15)
+        assert groups[1]["weight_decay"] == 0.0
+        # the config values must not be duplicated into the optimizer defaults
+        assert trainer.optimizer.defaults["weight_decay"] == 0.0
+        assert trainer.optimizer.defaults["lr"] != config.lr
+        assert trainer.optimizer.lr == pytest.approx(0.3)
+
     def test_epoch_callback_invoked(self, loaders):
         train, test = loaders
         calls = []

@@ -24,6 +24,7 @@ from typing import Iterator, List, Tuple
 DEFAULT_TARGETS = (
     "src/repro/engine",
     "src/repro/core/psum.py",
+    "src/repro/core/pipeline.py",
     "src/repro/cim/cost.py",
 )
 
