@@ -5,7 +5,9 @@
 #   make test-engine  - just the frozen-engine suite
 #   make bench-smoke  - fast smoke pass over the benchmark harness
 #   make bench-engine - frozen-engine speedup benchmark at default scale
-#   make docs-check   - fail on undocumented public APIs in the documented modules
+#   make bench-runner - batched inference-runner throughput benchmark
+#   make docs-check   - fail on undocumented public APIs in the documented
+#                       modules + run the fenced python snippets of docs/engine.md
 #   make install      - editable install (works without the wheel package)
 
 PYTHON      ?= python
@@ -13,7 +15,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine bench-smoke bench-engine docs-check install
+.PHONY: verify test test-engine bench-smoke bench-engine bench-runner docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -24,13 +26,17 @@ test-engine:
 	$(PYTHON) -m pytest tests/engine -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
 
+bench-runner:
+	$(PYTHON) benchmarks/bench_runner_throughput.py
+
 docs-check:
-	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/core/psum.py src/repro/core/pipeline.py src/repro/cim/cost.py
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/cim/cost.py
+	$(PYTHON) tools/run_doc_snippets.py docs/engine.md
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop

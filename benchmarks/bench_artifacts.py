@@ -1,0 +1,53 @@
+"""Shared scale / artifact plumbing for the standalone engine benchmarks.
+
+``bench_engine_speedup.py`` and ``bench_runner_throughput.py`` both run
+either directly (``python benchmarks/bench_...py``) or through pytest, and
+both track a JSON perf artifact at the repository root.  This module owns
+the common mechanics once:
+
+* :func:`bench_scale` — the ``REPRO_BENCH_SCALE`` operating point;
+* :func:`write_artifact` — artifact writing with the shared rules: each
+  benchmark has its **own** default filename and its own override
+  environment variable (so overriding one benchmark's path can never
+  clobber another's artifact), and ``tiny``-scale smoke runs write nothing
+  unless an explicit path insists, keeping the tracked artifacts at
+  comparable default-scale numbers.
+"""
+
+import json
+import os
+import time
+from typing import Optional
+
+
+def bench_scale() -> str:
+    """Benchmark operating point from ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+
+def write_artifact(benchmark: str, default_filename: str, env_var: str,
+                   results, path=None) -> Optional[str]:
+    """Write ``results`` to the benchmark's JSON artifact; return its path.
+
+    Resolution order: explicit ``path`` argument, then the benchmark's
+    ``env_var`` override, then ``default_filename`` at the repository root —
+    where ``tiny``-scale runs skip the write entirely (smoke passes must not
+    clobber the tracked default-scale trajectory).
+    """
+    if path is None:
+        path = os.environ.get(env_var)
+    if path is None:
+        if bench_scale() == "tiny":
+            return None
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, default_filename)
+    payload = {
+        "benchmark": benchmark,
+        "scale": bench_scale(),
+        "unix_time": time.time(),
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return os.path.abspath(path)

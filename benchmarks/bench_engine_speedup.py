@@ -20,21 +20,19 @@ across changes; ``tiny``-scale smoke runs skip the write, keeping the
 tracked artifact at comparable default-scale numbers.
 """
 
-import json
 import os
+import sys
 import time
-from typing import Optional
 
 import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_artifacts import bench_scale, write_artifact as _write_artifact
 
 from repro import engine
 from repro.cim import CIMConfig, QuantScheme
 from repro.models.blocks import BasicBlock, LayerFactory
 from repro.nn import Tensor
-
-
-def bench_scale() -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
 
 
 def _settings():
@@ -90,32 +88,14 @@ def run_engine_speedup():
     return results
 
 
-def write_artifact(results, path=None) -> Optional[str]:
-    """Write the benchmark results to a ``BENCH_engine.json`` artifact.
+def write_artifact(results, path=None):
+    """Write the results to ``BENCH_engine.json`` (see ``bench_artifacts``).
 
-    Defaults to the repository root (next to ``Makefile``); override with the
-    ``REPRO_BENCH_ARTIFACT`` environment variable or the ``path`` argument.
-    At the ``tiny`` smoke scale the timings are not comparable to the tracked
-    default-scale trajectory, so nothing is written unless an explicit path
-    says otherwise — ``make bench-smoke`` must not clobber the artifact.
+    Skipped at the ``tiny`` smoke scale; override the location with
+    ``REPRO_BENCH_ARTIFACT`` or the ``path`` argument.
     """
-    if path is None:
-        path = os.environ.get("REPRO_BENCH_ARTIFACT")
-    if path is None:
-        if bench_scale() == "tiny":
-            return None
-        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                            os.pardir, "BENCH_engine.json")
-    payload = {
-        "benchmark": "engine_speedup",
-        "scale": bench_scale(),
-        "unix_time": time.time(),
-        "results": results,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return os.path.abspath(path)
+    return _write_artifact("engine_speedup", "BENCH_engine.json",
+                           "REPRO_BENCH_ARTIFACT", results, path=path)
 
 
 def _report(results) -> None:

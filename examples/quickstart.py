@@ -1,17 +1,27 @@
 """Quickstart: train a CIM-quantized CNN with column-wise weight and
 partial-sum quantization (the paper's scheme) on a synthetic CIFAR-10-like
 task, compare it against the full-precision baseline, and then deploy it
-through the frozen inference engine.
+through the frozen inference engine — ending with a saved model-level
+artifact reloaded and served without any QAT objects.
 
 Every CIM layer runs the shared staged execution pipeline
 (``repro.core.pipeline``): activation LSQ -> tiled weight LSQ -> bit-split ->
 per-array MAC -> ADC partial-sum quant -> folded dequant/shift-add.
 ``engine.freeze`` compiles deployment plans from that same stage list, so the
 frozen model is numerically identical to the QAT forward — just faster.
+``engine.compile_model_plan`` then captures the whole frozen network (layer
+plans + folded BatchNorm + the inter-layer op graph) into one ``.npz`` that
+``engine.load_plan`` turns back into a runnable executor (see
+docs/engine.md).
 
 Run:
     python examples/quickstart.py
 """
+
+import os
+import tempfile
+
+import numpy as np
 
 from repro import engine
 from repro.analysis import print_table
@@ -19,6 +29,7 @@ from repro.cim import CIMConfig, QuantScheme
 from repro.core import cim_layers
 from repro.data import standard_augmentation, synthetic_cifar10, test_loader, train_loader
 from repro.models import resnet8
+from repro.nn import Tensor
 from repro.training import QATTrainer, TrainerConfig, evaluate
 
 
@@ -63,7 +74,6 @@ def main() -> None:
               f"{[stage.name for stage in layer.pipeline.stages]}")
         break  # every CIM layer shares the same stage list
     frozen_stats = evaluate(model, test)
-    engine.thaw(model)  # lossless: back to the QAT layers
 
     results.append({
         "model": "ours (frozen engine)",
@@ -72,6 +82,34 @@ def main() -> None:
         "final_test_top1": round(frozen_stats["top1"], 4),
         "train_seconds": 0.0,
     })
+
+    # 5. shipping: capture the frozen network into a single model-level
+    #    artifact, reload it, and serve a stream through the batched runner.
+    #    The loaded plan is plain data — no QAT model, layers or quantizers
+    #    are constructed, and float64 artifacts match the frozen model
+    #    bit for bit.
+    print("\n=== saving / reloading the deployment artifact ===")
+    model.eval()  # evaluate() leaves models in train mode; artifacts are eval-only
+    images, _ = next(iter(test))
+    images = Tensor(images)
+    reference = model(images).data
+    with tempfile.TemporaryDirectory() as workdir:
+        artifact = os.path.join(workdir, "quickstart_plan.npz")
+        engine.save_model_plan(engine.compile_model_plan(model), artifact)
+        print(f"  wrote {os.path.basename(artifact)} "
+              f"({os.path.getsize(artifact) / 1024:.0f} KiB)")
+        deployed = engine.load_plan(artifact)
+    print(f"  loaded: {deployed.n_cim_layers} CIM layer plans, "
+          f"{len(deployed.nodes) - 1} graph ops, dtype={deployed.dtype}")
+    runner = engine.InferenceRunner(deployed, batch_size=16)
+    served = runner.predict(images.data)
+    drift = float(np.abs(served - reference).max())
+    print(f"  served {runner.stats.samples} samples at "
+          f"{runner.stats.throughput:.0f} samples/s, "
+          f"max |logit drift| vs frozen model = {drift:.1e}")
+    assert drift <= 1e-10, "deployed artifact must match the frozen model"
+
+    engine.thaw(model)  # lossless: back to the QAT layers
 
     print()
     print_table(results, title="Quickstart summary")

@@ -648,7 +648,7 @@ class CIMPipeline:
     # ------------------------------------------------------------------ #
     # plan compilation
     # ------------------------------------------------------------------ #
-    def compile_state(self) -> dict:
+    def compile_state(self, dtype: Any = np.float64) -> dict:
         """Snapshot the static state of every stage for a frozen plan.
 
         Returns the keyword arguments shared by
@@ -658,6 +658,11 @@ class CIMPipeline:
         structural fields; each stage contributes its own arrays, in stage
         order — so the engine compiles from the same stage list the QAT
         forward executes.
+
+        ``dtype`` selects the floating-point width the snapshot is stored
+        (and therefore executed) in.  The Tensor math of the QAT forward is
+        always float64; ``np.float32`` plans trade the last digits of parity
+        for half the memory traffic at deployment time.
         """
         g = self.geometry
         state = dict(
@@ -671,6 +676,11 @@ class CIMPipeline:
         )
         for stage in self.stages:
             stage.compile_into(state, self.layer, g, self.adapter)
+        dtype = np.dtype(dtype)
+        if dtype != np.float64:
+            for key, value in state.items():
+                if isinstance(value, np.ndarray) and value.dtype.kind == "f":
+                    state[key] = value.astype(dtype)
         return state
 
 

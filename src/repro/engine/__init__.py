@@ -1,38 +1,53 @@
-"""``repro.engine`` — frozen inference engine for CIM layers.
+"""``repro.engine`` — frozen inference engine for CIM layers and models.
 
 The QAT layers in :mod:`repro.core` recompute weight quantization,
 bit-splitting, tiling and scale broadcasting on every forward call, which is
 what training needs but pure waste at deployment time.  This subsystem
-compiles each layer into a static :mod:`~repro.engine.plan` once ("freeze
-time") and then runs inference through a fused NumPy fast path:
+compiles that work out, at two granularities:
 
 * :func:`freeze` / :func:`thaw` — switch a whole model (or a single layer)
   into eval fast-path mode and back, losslessly;
 * :class:`ConvPlan` / :class:`LinearPlan` — the compiled per-layer plans
   (cached integer tiled weights, bit-splits, folded ``s_w * s_p * shift``
-  dequantization scales, valid-rows mask) with
-  :func:`save_plan` / :func:`load_plan` serialization;
+  dequantization scales) with :func:`save_plan` serialization;
 * :class:`FrozenCIMConv2d` / :class:`FrozenCIMLinear` — drop-in wrapper
   modules that execute the plan and transparently fall back to the original
-  QAT forward for training, recording, or uncalibrated quantizers.
+  QAT forward for training, recording, or uncalibrated quantizers;
+* :class:`ModelPlan` (:func:`compile_model_plan` / :func:`save_model_plan`)
+  — the **model-level artifact**: every layer plan plus folded BatchNorm and
+  the inter-layer op graph in one ``.npz`` + JSON manifest, reloadable with
+  :func:`load_plan` into a runnable executor without constructing the QAT
+  model or its quantizers;
+* :class:`InferenceRunner` — micro-batching over a sample stream with
+  reused activation buffers and per-layer timing stats.
 
-The fast path is numerically equivalent to the seed layers (same activation
-and partial-sum rounding decisions; outputs match to ~1e-12) with or without
-partial-sum quantization and device variation — see ``tests/engine/`` and
-``benchmarks/bench_engine_speedup.py``.
+:func:`load_plan` accepts both artifact kinds (model archives carry a
+``__manifest__`` entry, layer archives a ``__meta__`` entry).  The fast
+paths are numerically equivalent to the seed layers — see ``tests/engine/``,
+``benchmarks/bench_engine_speedup.py`` and
+``benchmarks/bench_runner_throughput.py``, and ``docs/engine.md`` for the
+full lifecycle guide and artifact schema.
 """
 
 from .api import freeze, frozen_layers, is_frozen, thaw
 from .frozen import FrozenCIMConv2d, FrozenCIMLinear
+from .model_plan import (GraphBuilder, GraphNode, ModelPlan, ModelPlanError,
+                         compile_model_plan, load_model_plan, load_plan,
+                         save_model_plan)
 from .plan import (ConvPlan, LinearPlan, PlanNotReadyError, compile_conv_plan,
-                   compile_linear_plan, compile_plan, layer_signature, load_plan,
-                   save_plan, signature_ready)
+                   compile_linear_plan, compile_plan, layer_signature,
+                   load_plan as load_layer_plan, normalize_dtype, save_plan,
+                   signature_ready)
+from .runner import InferenceRunner, RunnerStats
 
 __all__ = [
     "freeze", "thaw", "is_frozen", "frozen_layers",
     "FrozenCIMConv2d", "FrozenCIMLinear",
     "ConvPlan", "LinearPlan", "PlanNotReadyError",
     "compile_plan", "compile_conv_plan", "compile_linear_plan",
-    "layer_signature", "signature_ready",
-    "save_plan", "load_plan",
+    "layer_signature", "signature_ready", "normalize_dtype",
+    "save_plan", "load_plan", "load_layer_plan",
+    "GraphBuilder", "GraphNode", "ModelPlan", "ModelPlanError",
+    "compile_model_plan", "save_model_plan", "load_model_plan",
+    "InferenceRunner", "RunnerStats",
 ]

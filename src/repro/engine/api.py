@@ -11,12 +11,22 @@ Typical lifecycle::
     model = build_and_train(...)          # QAT as usual
     engine.freeze(model, calibrate=batch) # -> eval fast path
     logits = model(images)                # fused / cached inference
+    plan = engine.compile_model_plan(model)
+    engine.save_model_plan(plan, "model_plan.npz")   # deployment artifact
     engine.thaw(model)                    # back to the QAT layers
     model.train()                         # resume training
 
 Freezing changes the module tree (``conv1`` becomes ``conv1.layer`` inside a
-:class:`~repro.engine.frozen.FrozenCIMConv2d`), so thaw before saving or
-loading a ``state_dict`` captured on the unfrozen model.
+:class:`~repro.engine.frozen.FrozenCIMConv2d`), so ``state_dict`` keys differ
+between the frozen and unfrozen layouts.  A state dict round-trips fine
+*within* one layout — the wrapper keeps the original layer (all parameters
+and quantizer state) as a submodule — but a strict ``load_state_dict``
+across layouts fails loudly on the mismatched keys; thaw first when
+checkpointing training state.  Deployment artifacts don't use state dicts at
+all: :func:`~repro.engine.model_plan.compile_model_plan` captures the whole
+frozen network into a single file that
+:func:`~repro.engine.model_plan.load_plan` reloads without reconstructing
+the QAT model (see ``docs/engine.md``).
 """
 
 from __future__ import annotations

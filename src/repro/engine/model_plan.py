@@ -1,0 +1,579 @@
+"""Model-level engine artifacts: whole-network plans for frozen CIM models.
+
+The per-layer plans of :mod:`repro.engine.plan` freeze one CIM layer at a
+time, but a deployment still had to rebuild the full QAT model object just to
+host them.  A :class:`ModelPlan` removes that last dependency: it captures
+
+* one compiled :class:`~repro.engine.plan.ConvPlan` /
+  :class:`~repro.engine.plan.LinearPlan` per CIM layer (snapshotted through
+  the same :meth:`~repro.core.pipeline.CIMPipeline.compile_state` stage walk
+  the QAT forward executes),
+* eval-mode BatchNorm folded to static per-channel operands
+  (:meth:`repro.nn.norm._BatchNorm.frozen_stats` — applied with the exact
+  operation order of the module, so the fold is bit-exact), and
+* the inter-layer graph of non-CIM ops (ReLU, pooling, residual adds,
+  flatten, full-precision layers) as a small SSA-style node list,
+
+and serializes all of it into a **single** ``.npz`` archive whose
+``__manifest__`` entry is a JSON document describing the graph (see
+``docs/engine.md`` for the schema).  :func:`load_plan` turns that file back
+into a runnable executor **without constructing the QAT model, its layers or
+its quantizers** — loading touches only NumPy arrays and plan dataclasses.
+
+Graph capture is hook-based, not trace-based: composite modules implement
+``export_graph(builder, node)`` (see :class:`repro.models.blocks.BasicBlock`
+for the residual-add example) and leaf modules are handled by the builder's
+dispatch table below.  Models composed purely of ``Sequential`` containers
+and known leaves need no hook at all.
+
+Execution math is kept bit-identical to the frozen in-process model: every
+node applies the same NumPy operations, in the same order, as the Tensor op
+it replaces, so a float64 ``ModelPlan`` reproduces the frozen model exactly
+(the test suite pins <= 1e-10; in practice the difference is 0.0).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.cim_conv import CIMConv2d
+from ..core.cim_linear import CIMLinear
+from ..nn import functional as F
+from ..nn.layers import (AvgPool2d, Conv2d, Dropout, Flatten, GlobalAvgPool2d,
+                         Identity, Linear, MaxPool2d, ReLU, ReLU6)
+from ..nn.module import Module, Sequential
+from ..nn.norm import _BatchNorm
+from ..nn.tensor import Tensor, no_grad
+from .frozen import _FrozenLayer
+from .plan import (compile_plan, load_plan as _load_layer_plan, normalize_dtype,
+                   plan_arrays, plan_from_parts, plan_meta)
+
+__all__ = [
+    "GraphNode",
+    "GraphBuilder",
+    "ModelPlan",
+    "ModelPlanError",
+    "compile_model_plan",
+    "save_model_plan",
+    "load_model_plan",
+    "load_plan",
+]
+
+#: Manifest format marker / version of the model-plan archive schema.
+MODEL_PLAN_FORMAT = "repro-model-plan"
+MODEL_PLAN_VERSION = 1
+
+
+class ModelPlanError(RuntimeError):
+    """Raised for unexportable models and corrupted / incompatible archives."""
+
+
+def _pair(value) -> List[int]:
+    if isinstance(value, (tuple, list)):
+        return [int(value[0]), int(value[1])]
+    return [int(value), int(value)]
+
+
+# --------------------------------------------------------------------------- #
+# graph IR
+# --------------------------------------------------------------------------- #
+@dataclass
+class GraphNode:
+    """One operation of the inter-layer graph.
+
+    ``inputs`` are ids of earlier nodes (node 0 is always the model input),
+    ``attrs`` is JSON-serializable structure (pool geometry, ...), ``arrays``
+    holds the node's static NumPy operands (folded BN stats, FP weights) and
+    ``plan_index`` points into :attr:`ModelPlan.layer_plans` for ``cim``
+    nodes.
+    """
+
+    id: int
+    op: str
+    inputs: List[int]
+    name: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    plan_index: int = -1
+
+
+class GraphBuilder:
+    """Captures a module tree into a :class:`ModelPlan` node list.
+
+    Composite modules implement ``export_graph(builder, node_id) -> node_id``
+    and call :meth:`emit` on their children (in forward order) and
+    :meth:`add_op` for functional ops such as residual adds; leaf modules are
+    handled by the built-in dispatch.  The builder owns the name scope, so
+    node names match the module paths of the source model.
+    """
+
+    def __init__(self, dtype: str = "float64"):
+        self.dtype = normalize_dtype(dtype)
+        self.nodes: List[GraphNode] = [GraphNode(id=0, op="input", inputs=[],
+                                                 name="input")]
+        self.layer_plans: list = []
+        self._scope: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def input_id(self) -> int:
+        """Id of the graph's input placeholder node (always 0)."""
+        return 0
+
+    def scope_name(self) -> str:
+        """Dotted module path of the current emission scope."""
+        return ".".join(self._scope)
+
+    def add_op(self, op: str, inputs: List[int], name: str = "",
+               arrays: Optional[Dict[str, np.ndarray]] = None,
+               **attrs) -> int:
+        """Append a node and return its id.
+
+        Array operands are cast to the plan dtype here, once, so every
+        executor run serves pre-cast static data.
+        """
+        cast = {}
+        for key, value in (arrays or {}).items():
+            if value is None:
+                continue
+            value = np.asarray(value)
+            if value.dtype.kind == "f":
+                value = value.astype(self.dtype, copy=False)
+            cast[key] = value
+        node = GraphNode(id=len(self.nodes), op=op, inputs=list(inputs),
+                         name=name or self.scope_name() or op,
+                         attrs=attrs, arrays=cast)
+        self.nodes.append(node)
+        return node.id
+
+    def add_layer_plan(self, plan, inputs: List[int], name: str = "") -> int:
+        """Append a ``cim`` node executing an already-compiled layer plan."""
+        node_id = self.add_op("cim", inputs, name=name)
+        self.nodes[node_id].plan_index = len(self.layer_plans)
+        self.layer_plans.append(plan)
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    def emit(self, module: Module, node: int, name: str = "") -> int:
+        """Capture ``module`` applied to graph node ``node``; return the output id.
+
+        Dispatch order: frozen wrappers and CIM layers compile to ``cim``
+        nodes, modules providing ``export_graph`` delegate to their hook,
+        ``Sequential`` chains its children, and known leaf modules map to
+        built-in ops.  Anything else raises :class:`ModelPlanError`.
+        """
+        if name:
+            self._scope.append(name)
+        try:
+            return self._dispatch(module, node)
+        finally:
+            if name:
+                self._scope.pop()
+
+    def _dispatch(self, module: Module, node: int) -> int:
+        if isinstance(module, _FrozenLayer):
+            module = module.layer
+        if isinstance(module, (CIMConv2d, CIMLinear)):
+            variation = module.variation
+            if variation is not None and variation.enabled:
+                raise ModelPlanError(
+                    f"cannot capture {self.scope_name() or type(module).__name__!r}: "
+                    "an enabled device-variation model is attached, and model "
+                    "plans are deterministic artifacts; run variation studies "
+                    "through the in-process freeze path, or detach the model "
+                    "(set_variation(None)) before compiling")
+            return self.add_layer_plan(compile_plan(module, dtype=self.dtype),
+                                       [node])
+        hook = getattr(module, "export_graph", None)
+        if hook is not None:
+            return hook(self, node)
+        if isinstance(module, Sequential):
+            for child_name, child in module._modules.items():
+                node = self.emit(child, node, name=child_name)
+            return node
+        return self._leaf(module, node)
+
+    def _leaf(self, module: Module, node: int) -> int:
+        if isinstance(module, _BatchNorm):
+            mean, denom = module.frozen_stats()
+            arrays = {"mean": mean, "denom": denom}
+            if module.affine:
+                arrays["gamma"] = module.weight.data.copy()
+                arrays["beta"] = module.bias.data.copy()
+            return self.add_op("batchnorm", [node], arrays=arrays)
+        if isinstance(module, ReLU6):          # ReLU6 first: not a ReLU subclass,
+            return self.add_op("relu6", [node])  # but keep the specific case near
+        if isinstance(module, ReLU):
+            return self.add_op("relu", [node])
+        if isinstance(module, (Identity, Dropout)):
+            return node                        # eval-mode no-ops: emit nothing
+        if isinstance(module, Flatten):
+            return self.add_op("flatten", [node])
+        if isinstance(module, GlobalAvgPool2d):
+            return self.add_op("global_avg_pool", [node])
+        if isinstance(module, (MaxPool2d, AvgPool2d)):
+            op = "max_pool" if isinstance(module, MaxPool2d) else "avg_pool"
+            kernel = _pair(module.kernel_size)
+            stride = _pair(module.stride if module.stride is not None
+                           else module.kernel_size)
+            return self.add_op(op, [node], kernel=kernel, stride=stride,
+                               padding=_pair(module.padding))
+        if isinstance(module, Linear):
+            arrays = {"weight": module.weight.data.copy()}
+            if module.bias is not None:
+                arrays["bias"] = module.bias.data.copy()
+            return self.add_op("linear", [node], arrays=arrays)
+        if isinstance(module, Conv2d):
+            if module.groups != 1:
+                raise ModelPlanError(
+                    "grouped full-precision Conv2d is not supported by the "
+                    "model-plan exporter")
+            arrays = {"weight": module.weight.data.copy()}
+            if module.bias is not None:
+                arrays["bias"] = module.bias.data.copy()
+            return self.add_op("conv2d", [node], arrays=arrays,
+                               stride=_pair(module.stride),
+                               padding=_pair(module.padding))
+        raise ModelPlanError(
+            f"cannot capture {type(module).__name__} at "
+            f"{self.scope_name() or '<root>'!r}: no graph-capture hook "
+            "(implement export_graph(builder, node)) and no built-in leaf rule")
+
+
+# --------------------------------------------------------------------------- #
+# the model plan (executor)
+# --------------------------------------------------------------------------- #
+def _channel_shape(param: np.ndarray, ndim: int) -> tuple:
+    """Broadcast shape of a per-channel ``(C,)`` operand over an ``ndim`` input."""
+    return (1, param.shape[0]) + (1,) * (ndim - 2)
+
+
+@dataclass
+class ModelPlan:
+    """A frozen network as plain data: node graph + per-layer plans.
+
+    Instances are runnable (``plan(x)`` / :meth:`execute`) and serializable
+    (:meth:`save` / :meth:`load`); execution needs only NumPy — no Tensor,
+    no Module, no quantizer objects.
+    """
+
+    nodes: List[GraphNode]
+    layer_plans: list
+    output_id: int
+    dtype: str = "float64"
+    name: str = ""
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """NumPy dtype the plan executes in."""
+        return np.dtype(self.dtype)
+
+    @property
+    def n_cim_layers(self) -> int:
+        """Number of compiled CIM layer plans in the artifact."""
+        return len(self.layer_plans)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, x: np.ndarray, timings: Optional[Dict[str, float]] = None,
+                workspace: Optional[dict] = None) -> np.ndarray:
+        """Run the graph on a batch array and return the output array.
+
+        ``timings`` (optional) accumulates per-node wall-clock seconds keyed
+        by node name — :class:`~repro.engine.runner.InferenceRunner` uses it
+        for per-layer stats.  ``workspace`` (optional dict) lets element-wise
+        nodes reuse preallocated output buffers across calls; outputs of a
+        workspace-backed run are only valid until the next :meth:`execute`
+        with the same workspace.
+        """
+        x = np.asarray(x.data if isinstance(x, Tensor) else x,
+                       dtype=self.np_dtype)
+        values: Dict[int, np.ndarray] = {0: x}
+        last_use: Dict[int, int] = {0: 0}
+        for node in self.nodes[1:]:
+            for input_id in node.inputs:
+                last_use[input_id] = node.id
+        last_use[self.output_id] = len(self.nodes)
+
+        for node in self.nodes[1:]:
+            args = [values[i] for i in node.inputs]
+            if timings is None:
+                values[node.id] = self._run_node(node, args, workspace)
+            else:
+                start = time.perf_counter()
+                values[node.id] = self._run_node(node, args, workspace)
+                timings[node.name] = (timings.get(node.name, 0.0)
+                                      + time.perf_counter() - start)
+            for input_id in node.inputs:
+                if last_use.get(input_id, -1) == node.id:
+                    del values[input_id]
+        return values[self.output_id]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`execute` (no timing, no workspace)."""
+        return self.execute(x)
+
+    def _buffer(self, workspace: Optional[dict], node: GraphNode,
+                shape: tuple) -> Optional[np.ndarray]:
+        """Reusable output buffer for ``node``, or ``None`` without workspace."""
+        if workspace is None:
+            return None
+        buf = workspace.get(node.id)
+        if buf is None or buf.shape != shape or buf.dtype != self.np_dtype:
+            buf = np.empty(shape, dtype=self.np_dtype)
+            workspace[node.id] = buf
+        return buf
+
+    def _run_node(self, node: GraphNode, args: List[np.ndarray],
+                  workspace: Optional[dict]) -> np.ndarray:
+        """Execute one node; each op mirrors its Tensor counterpart bit for bit."""
+        op = node.op
+        x = args[0]
+        if op == "cim":
+            return self.layer_plans[node.plan_index].execute(x)
+        if op == "batchnorm":
+            a = node.arrays
+            mean = a["mean"].reshape(_channel_shape(a["mean"], x.ndim))
+            denom = a["denom"].reshape(_channel_shape(a["denom"], x.ndim))
+            out = self._buffer(workspace, node, x.shape)
+            if out is None:
+                out = (x - mean) / denom
+            else:
+                np.subtract(x, mean, out=out)
+                np.divide(out, denom, out=out)
+            if "gamma" in a:
+                gamma = a["gamma"].reshape(_channel_shape(a["gamma"], x.ndim))
+                beta = a["beta"].reshape(_channel_shape(a["beta"], x.ndim))
+                np.multiply(out, gamma, out=out)
+                np.add(out, beta, out=out)
+            return out
+        if op == "relu":
+            out = self._buffer(workspace, node, x.shape)
+            if out is None:
+                return np.where(x > 0, x, 0.0)
+            # same semantics as the np.where above (NaN -> 0), in the buffer
+            out[...] = 0.0
+            np.copyto(out, x, where=x > 0)
+            return out
+        if op == "relu6":
+            out = self._buffer(workspace, node, x.shape)
+            return np.clip(x, 0.0, 6.0, out=out)
+        if op == "add":
+            out = self._buffer(workspace, node, x.shape)
+            if out is None:
+                return x + args[1]
+            return np.add(x, args[1], out=out)
+        if op == "flatten":
+            return x.reshape(x.shape[0], -1)
+        if op == "global_avg_pool":
+            # Tensor.mean is sum * (1/count); mirror it for bit-exactness
+            return x.sum(axis=(2, 3)) * (1.0 / (x.shape[2] * x.shape[3]))
+        if op in ("max_pool", "avg_pool"):
+            kernel = tuple(node.attrs["kernel"])
+            stride = tuple(node.attrs["stride"])
+            padding = tuple(node.attrs["padding"])
+            n, c, h, w = x.shape
+            out_h = F.conv_output_size(h, kernel[0], stride[0], padding[0])
+            out_w = F.conv_output_size(w, kernel[1], stride[1], padding[1])
+            cols = F.unfold_array(x, kernel, stride, padding)
+            cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+            if op == "max_pool":
+                pooled = cols.max(axis=2)
+            else:  # Tensor.mean is sum * (1/count); mirror it for bit-exactness
+                pooled = cols.sum(axis=2) * (1.0 / (kernel[0] * kernel[1]))
+            return pooled.reshape(n, c, out_h, out_w)
+        if op == "linear":
+            out = x @ node.arrays["weight"].T
+            bias = node.arrays.get("bias")
+            return out if bias is None else out + bias
+        if op == "conv2d":
+            weight = node.arrays["weight"]
+            c_out, _, kh, kw = weight.shape
+            stride = tuple(node.attrs["stride"])
+            padding = tuple(node.attrs["padding"])
+            n, _, h, w = x.shape
+            out_h = F.conv_output_size(h, kh, stride[0], padding[0])
+            out_w = F.conv_output_size(w, kw, stride[1], padding[1])
+            cols = F.unfold_array(x, (kh, kw), stride, padding)   # (N, K, L)
+            out = weight.reshape(c_out, -1) @ cols                # (N, OC, L)
+            out = out.reshape(n, c_out, out_h, out_w)
+            bias = node.arrays.get("bias")
+            return out if bias is None else out + bias.reshape(1, c_out, 1, 1)
+        raise ModelPlanError(f"unknown graph op {op!r} (node {node.id})")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Human-readable node list (one line per op, with plan shapes)."""
+        lines = [f"ModelPlan({self.name or 'model'}, dtype={self.dtype}, "
+                 f"{self.n_cim_layers} CIM layers, {len(self.nodes) - 1} ops)"]
+        for node in self.nodes[1:]:
+            detail = ""
+            if node.op == "cim":
+                plan = self.layer_plans[node.plan_index]
+                detail = f" -> {plan.layer_type}[{plan.out_channels}ch]"
+            lines.append(f"  %{node.id:<3} {node.op:<16} "
+                         f"({', '.join(f'%{i}' for i in node.inputs)})"
+                         f" {node.name}{detail}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Serialize to a single ``.npz``: arrays + a ``__manifest__`` JSON entry."""
+        save_model_plan(self, path)
+
+    @classmethod
+    def load(cls, path) -> "ModelPlan":
+        """Rebuild a :class:`ModelPlan` saved by :meth:`save`."""
+        return load_model_plan(path)
+
+
+# --------------------------------------------------------------------------- #
+# compilation
+# --------------------------------------------------------------------------- #
+def compile_model_plan(model: Module, calibrate=None, dtype="float64",
+                       name: str = "") -> ModelPlan:
+    """Capture a whole frozen/calibrated model into a :class:`ModelPlan`.
+
+    Parameters
+    ----------
+    model:
+        A module tree containing CIM layers (frozen wrappers or the bare QAT
+        layers — both compile through the same stage list).  Composite
+        modules outside the built-in leaf set must provide an
+        ``export_graph(builder, node)`` hook.
+    calibrate:
+        Optional example batch; when given, one eval forward runs first so
+        lazily-initialized LSQ scales observe data.  Without it, compiling a
+        model with uncalibrated quantizers raises
+        :class:`~repro.engine.plan.PlanNotReadyError`.
+    dtype:
+        Execution precision of the artifact: ``"float64"`` (bit-exact vs the
+        frozen in-process model) or ``"float32"`` (half the memory traffic).
+    name:
+        Stored in the manifest; defaults to the model's class name.
+    """
+    dtype = normalize_dtype(dtype)
+    model.eval()
+    if calibrate is not None:
+        with no_grad():
+            model(calibrate if isinstance(calibrate, Tensor)
+                  else Tensor(np.asarray(calibrate, dtype=np.float64)))
+    builder = GraphBuilder(dtype)
+    output_id = builder.emit(model, builder.input_id)
+    return ModelPlan(nodes=builder.nodes, layer_plans=builder.layer_plans,
+                     output_id=output_id, dtype=dtype,
+                     name=name or type(model).__name__)
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+def save_model_plan(plan: ModelPlan, path) -> None:
+    """Write a :class:`ModelPlan` to one ``.npz`` archive.
+
+    Layout: a ``__manifest__`` JSON entry (format tag, dtype, node graph,
+    per-layer metadata) plus flat array entries named ``node{i}.{field}`` and
+    ``layer{j}.{field}`` — see ``docs/engine.md`` for the full schema.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    node_docs = []
+    for node in plan.nodes:
+        doc = {"id": node.id, "op": node.op, "name": node.name,
+               "inputs": node.inputs, "attrs": node.attrs,
+               "arrays": sorted(node.arrays)}
+        if node.op == "cim":
+            doc["plan_index"] = node.plan_index
+        node_docs.append(doc)
+        for key, value in node.arrays.items():
+            arrays[f"node{node.id}.{key}"] = value
+    layer_docs = []
+    for index, layer_plan in enumerate(plan.layer_plans):
+        layer_docs.append(plan_meta(layer_plan))
+        for key, value in plan_arrays(layer_plan).items():
+            arrays[f"layer{index}.{key}"] = value
+    manifest = {
+        "format": MODEL_PLAN_FORMAT,
+        "version": MODEL_PLAN_VERSION,
+        "name": plan.name,
+        "dtype": plan.dtype,
+        "output": plan.output_id,
+        "nodes": node_docs,
+        "layers": layer_docs,
+    }
+    np.savez(path, __manifest__=np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8), **arrays)
+
+
+def load_model_plan(path) -> ModelPlan:
+    """Rebuild a :class:`ModelPlan` from a :func:`save_model_plan` archive.
+
+    Pure data path: no QAT model, layer, or quantizer objects are
+    constructed.  Raises :class:`ModelPlanError` on a corrupted manifest,
+    an unknown format/version, or missing array entries.
+    """
+    with np.load(path) as archive:
+        if "__manifest__" not in archive.files:
+            raise ModelPlanError(f"{path}: not a model-plan archive "
+                                 "(no __manifest__ entry)")
+        try:
+            manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ModelPlanError(f"{path}: corrupted manifest: {error}") from error
+        stored = {key: archive[key] for key in archive.files
+                  if key != "__manifest__"}
+    if not isinstance(manifest, dict) or manifest.get("format") != MODEL_PLAN_FORMAT:
+        raise ModelPlanError(f"{path}: corrupted manifest: missing format tag "
+                             f"{MODEL_PLAN_FORMAT!r}")
+    if manifest.get("version") != MODEL_PLAN_VERSION:
+        raise ModelPlanError(f"{path}: unsupported model-plan version "
+                             f"{manifest.get('version')!r} "
+                             f"(expected {MODEL_PLAN_VERSION})")
+    try:
+        layer_plans = []
+        for index, meta in enumerate(manifest["layers"]):
+            arrays = {key.split(".", 1)[1]: value for key, value in stored.items()
+                      if key.startswith(f"layer{index}.")}
+            layer_plans.append(plan_from_parts(meta, arrays))
+        nodes = []
+        for doc in manifest["nodes"]:
+            node = GraphNode(id=int(doc["id"]), op=doc["op"],
+                             inputs=[int(i) for i in doc["inputs"]],
+                             name=doc.get("name", ""),
+                             attrs=doc.get("attrs", {}),
+                             plan_index=int(doc.get("plan_index", -1)))
+            for key in doc.get("arrays", []):
+                node.arrays[key] = stored[f"node{node.id}.{key}"]
+            nodes.append(node)
+        return ModelPlan(nodes=nodes, layer_plans=layer_plans,
+                         output_id=int(manifest["output"]),
+                         dtype=normalize_dtype(manifest.get("dtype", "float64")),
+                         name=manifest.get("name", ""))
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
+        raise ModelPlanError(f"{path}: corrupted manifest: {error}") from error
+
+
+def load_plan(path):
+    """Load any engine artifact: a :class:`ModelPlan` or a single layer plan.
+
+    Dispatches on the archive contents — model plans carry a
+    ``__manifest__`` entry, per-layer plans a ``__meta__`` entry — so
+    deployment code needs one entry point regardless of what was saved.
+    """
+    with np.load(path) as archive:
+        files = set(archive.files)
+    if "__manifest__" in files:
+        return load_model_plan(path)
+    if "__meta__" in files:
+        return _load_layer_plan(path)
+    raise ModelPlanError(f"{path}: not an engine artifact "
+                         "(expected a __manifest__ or __meta__ entry)")

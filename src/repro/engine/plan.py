@@ -61,6 +61,10 @@ __all__ = [
     "compile_linear_plan",
     "layer_signature",
     "signature_ready",
+    "normalize_dtype",
+    "plan_meta",
+    "plan_arrays",
+    "plan_from_parts",
     "save_plan",
     "load_plan",
 ]
@@ -129,6 +133,7 @@ class _PlanBase:
     psum_qmax: float
     mapping: WeightMapping
     signature: Tuple[bool, bool, bool]
+    dtype: str = "float64"        # execution dtype ("float64" | "float32")
     # derived operands, rebuilt by _build_derived()
     row_slices: list = field(init=False, repr=False, default=None)
     w_split_mats: list = field(init=False, repr=False, default=None)
@@ -177,6 +182,15 @@ class _PlanBase:
         """Compiled plans are always executable for their signature."""
         return True
 
+    @property
+    def np_dtype(self) -> np.dtype:
+        """NumPy dtype the plan's arrays are stored (and executed) in."""
+        return np.dtype(self.dtype)
+
+    def _cast_input(self, x: np.ndarray) -> np.ndarray:
+        """View/copy the activation array in the plan's execution dtype."""
+        return np.asarray(x, dtype=self.np_dtype)
+
     def _quantize_acts(self, x: np.ndarray) -> np.ndarray:
         """LSQ activation quantization: ``round(clamp(x / s_a))`` codes."""
         if self.act_scale is None:
@@ -224,7 +238,7 @@ class _PlanBase:
         nl = cols_flat.shape[0]
         s, oc = self.n_splits, self.out_channels
         w_mats = self.w_split_mats if variation is None else self._varied_wsplit_mats(variation)
-        out = np.zeros((nl, oc))
+        out = np.zeros((nl, oc), dtype=cols_flat.dtype)
         for i, (start, stop) in enumerate(self.row_slices):
             p = cols_flat[:, start:stop] @ w_mats[i]        # (NL, S*OC) partial sums
             p = p.reshape(nl, s, oc)
@@ -248,6 +262,7 @@ class ConvPlan(_PlanBase):
 
     def execute(self, x: np.ndarray, variation=None) -> np.ndarray:
         """Run the frozen forward on a ``(N, C, H, W)`` activation array."""
+        x = self._cast_input(x)
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(f"expected {self.in_channels} input channels, got {c}")
@@ -279,6 +294,7 @@ class LinearPlan(_PlanBase):
 
     def execute(self, x: np.ndarray, variation=None) -> np.ndarray:
         """Run the frozen forward on a ``(N, in_features)`` activation array."""
+        x = self._cast_input(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected input of shape (N, {self.in_features}), got {x.shape}")
@@ -294,7 +310,21 @@ class LinearPlan(_PlanBase):
 # --------------------------------------------------------------------------- #
 # compilation
 # --------------------------------------------------------------------------- #
-def _snapshot_common(layer, signature) -> dict:
+def normalize_dtype(dtype) -> str:
+    """Canonical plan-dtype name (``"float64"`` / ``"float32"``) for ``dtype``.
+
+    Accepts the canonical strings, NumPy dtypes and dtype-like objects; any
+    other width is rejected — plans are pure floating-point GEMM recipes and
+    only ship in the two widths the engine supports.
+    """
+    name = np.dtype(dtype).name
+    if name not in ("float64", "float32"):
+        raise ValueError(f"unsupported plan dtype {name!r}; "
+                         "expected 'float64' or 'float32'")
+    return name
+
+
+def _snapshot_common(layer, signature, dtype: str) -> dict:
     """Detached copies of everything both plan kinds cache.
 
     Compiled from the layer's own stage list: each
@@ -304,16 +334,18 @@ def _snapshot_common(layer, signature) -> dict:
     :class:`~repro.core.pipeline.LayerGeometry` contributes the structural
     fields.  The plan never re-derives stage math.
     """
-    state = layer.pipeline.compile_state()
+    state = layer.pipeline.compile_state(dtype=np.dtype(dtype))
     state["signature"] = signature
+    state["dtype"] = dtype
     return state
 
 
-def compile_conv_plan(layer) -> ConvPlan:
+def compile_conv_plan(layer, dtype="float64") -> ConvPlan:
     """Compile a :class:`~repro.core.cim_conv.CIMConv2d` into a :class:`ConvPlan`.
 
     Raises :class:`PlanNotReadyError` if the layer's lazily-initialized LSQ
-    scales have not yet observed a batch.
+    scales have not yet observed a batch.  ``dtype`` selects the execution
+    precision of the compiled plan (QAT Tensor math stays float64).
     """
     signature = layer_signature(layer)
     if not signature_ready(signature):
@@ -324,10 +356,10 @@ def compile_conv_plan(layer) -> ConvPlan:
                     kernel_size=layer.kernel_size,
                     stride=layer.stride,
                     padding=layer.padding,
-                    **_snapshot_common(layer, signature))
+                    **_snapshot_common(layer, signature, normalize_dtype(dtype)))
 
 
-def compile_linear_plan(layer) -> LinearPlan:
+def compile_linear_plan(layer, dtype="float64") -> LinearPlan:
     """Compile a :class:`~repro.core.cim_linear.CIMLinear` into a :class:`LinearPlan`."""
     signature = layer_signature(layer)
     if not signature_ready(signature):
@@ -335,17 +367,17 @@ def compile_linear_plan(layer) -> LinearPlan:
             "activation / partial-sum quantizers are uninitialized; run one "
             "forward pass (or freeze with calibrate=...) before compiling")
     return LinearPlan(in_features=layer.in_features,
-                      **_snapshot_common(layer, signature))
+                      **_snapshot_common(layer, signature, normalize_dtype(dtype)))
 
 
-def compile_plan(layer):
+def compile_plan(layer, dtype="float64"):
     """Compile a plan for any CIM layer (dispatch on the layer type)."""
     from ..core.cim_conv import CIMConv2d
     from ..core.cim_linear import CIMLinear
     if isinstance(layer, CIMConv2d):
-        return compile_conv_plan(layer)
+        return compile_conv_plan(layer, dtype=dtype)
     if isinstance(layer, CIMLinear):
-        return compile_linear_plan(layer)
+        return compile_linear_plan(layer, dtype=dtype)
     raise TypeError(f"cannot compile a plan for {type(layer).__name__}")
 
 
@@ -356,8 +388,14 @@ _ARRAY_FIELDS = ("w_bar", "splits", "s_w", "valid_mask", "shift_factors",
                  "w_eff_mat", "bias", "act_scale", "s_p")
 
 
-def save_plan(plan, path) -> None:
-    """Serialize a plan to an ``.npz`` archive (arrays + JSON metadata)."""
+def plan_meta(plan) -> dict:
+    """JSON-serializable metadata of one layer plan (everything non-array).
+
+    This is the single owner of the layer-plan manifest schema: the per-layer
+    :func:`save_plan` archives and the ``layers`` section of a
+    :class:`~repro.engine.model_plan.ModelPlan` manifest both embed exactly
+    this dictionary.
+    """
     meta = {
         "layer_type": plan.layer_type,
         "out_channels": plan.out_channels,
@@ -371,6 +409,7 @@ def save_plan(plan, path) -> None:
         "psum_qmin": plan.psum_qmin,
         "psum_qmax": plan.psum_qmax,
         "signature": list(plan.signature),
+        "dtype": plan.dtype,
         "mapping": mapping_to_dict(plan.mapping),
     }
     if isinstance(plan, ConvPlan):
@@ -380,18 +419,21 @@ def save_plan(plan, path) -> None:
                     padding=list(plan.padding))
     else:
         meta.update(in_features=plan.in_features)
-    arrays = {name: getattr(plan, name) for name in _ARRAY_FIELDS
-              if getattr(plan, name) is not None}
-    np.savez(path, __meta__=np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
+    return meta
 
 
-def load_plan(path):
-    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` saved by :func:`save_plan`."""
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-        arrays = {name: (archive[name] if name in archive.files else None)
-                  for name in _ARRAY_FIELDS}
+def plan_arrays(plan) -> dict:
+    """The plan's array payload, keyed by field name (``None`` fields omitted)."""
+    return {name: getattr(plan, name) for name in _ARRAY_FIELDS
+            if getattr(plan, name) is not None}
+
+
+def plan_from_parts(meta: dict, arrays: dict):
+    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` from manifest + arrays.
+
+    Inverse of (:func:`plan_meta`, :func:`plan_arrays`); shared by
+    :func:`load_plan` and the model-plan loader.
+    """
     common = dict(
         out_channels=int(meta["out_channels"]),
         n_arrays=int(meta["n_arrays"]),
@@ -404,8 +446,9 @@ def load_plan(path):
         psum_qmin=float(meta["psum_qmin"]),
         psum_qmax=float(meta["psum_qmax"]),
         signature=tuple(meta["signature"]),
+        dtype=normalize_dtype(meta.get("dtype", "float64")),
         mapping=mapping_from_dict(meta["mapping"]),
-        **arrays,
+        **{name: arrays.get(name) for name in _ARRAY_FIELDS},
     )
     if meta["layer_type"] == "conv2d":
         return ConvPlan(in_channels=int(meta["in_channels"]),
@@ -414,3 +457,19 @@ def load_plan(path):
                         padding=tuple(meta["padding"]),
                         **common)
     return LinearPlan(in_features=int(meta["in_features"]), **common)
+
+
+def save_plan(plan, path) -> None:
+    """Serialize a plan to an ``.npz`` archive (arrays + JSON metadata)."""
+    np.savez(path, __meta__=np.frombuffer(
+        json.dumps(plan_meta(plan)).encode("utf-8"), dtype=np.uint8),
+        **plan_arrays(plan))
+
+
+def load_plan(path):
+    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` saved by :func:`save_plan`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        arrays = {name: archive[name] for name in _ARRAY_FIELDS
+                  if name in archive.files}
+    return plan_from_parts(meta, arrays)

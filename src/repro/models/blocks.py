@@ -42,10 +42,12 @@ class LayerFactory:
 
     @property
     def is_quantized(self) -> bool:
+        """True when the factory builds CIM-quantized layers."""
         return self.scheme is not None
 
     def conv(self, in_channels: int, out_channels: int, kernel_size: int,
              stride: int = 1, padding: int = 0, bias: bool = False) -> Module:
+        """Build a convolution: plain :class:`Conv2d` or :class:`CIMConv2d`."""
         if self.scheme is None:
             return Conv2d(in_channels, out_channels, kernel_size, stride=stride,
                           padding=padding, bias=bias, rng=self.rng)
@@ -59,6 +61,7 @@ class LayerFactory:
                          quantize_input=quantize_input, rng=self.rng)
 
     def linear(self, in_features: int, out_features: int, bias: bool = True) -> Module:
+        """Build a linear layer: plain :class:`Linear` or :class:`CIMLinear`."""
         if self.scheme is None:
             return Linear(in_features, out_features, bias=bias, rng=self.rng)
         return CIMLinear(in_features, out_features, bias=bias, scheme=self.scheme,
@@ -101,7 +104,28 @@ class BasicBlock(Module):
             self.shortcut = Identity()
 
     def forward(self, x: Tensor) -> Tensor:
+        """Residual forward: ``relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))``."""
         out = self.relu(self.bn1(self.conv1(x)))
         out = self.bn2(self.conv2(out))
         out = out + self.shortcut(x)
         return self.relu(out)
+
+    def export_graph(self, builder, node: int) -> int:
+        """Graph-capture hook (:mod:`repro.engine.model_plan`).
+
+        Containers and leaf modules capture automatically; the residual add
+        is the one piece of structure only the block itself knows, so the
+        hook mirrors :meth:`forward` — main branch, shortcut branch, ``add``,
+        final ``relu`` — and must be kept in sync with it.
+        """
+        out = builder.emit(self.conv1, node, name="conv1")
+        out = builder.emit(self.bn1, out, name="bn1")
+        out = builder.emit(self.relu, out, name="relu")
+        out = builder.emit(self.conv2, out, name="conv2")
+        out = builder.emit(self.bn2, out, name="bn2")
+        short = builder.emit(self.shortcut, node, name="shortcut")
+        prefix = builder.scope_name()
+        out = builder.add_op("add", [out, short],
+                             name=f"{prefix}.add" if prefix else "add")
+        return builder.add_op("relu", [out],
+                              name=f"{prefix}.relu_out" if prefix else "relu_out")

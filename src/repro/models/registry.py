@@ -29,6 +29,7 @@ MODEL_REGISTRY: Dict[str, ModelBuilder] = {
 
 
 def available_models() -> list:
+    """Sorted names of every registered model constructor."""
     return sorted(MODEL_REGISTRY)
 
 

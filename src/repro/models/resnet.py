@@ -95,13 +95,28 @@ class ResNet(Module):
         self.fc = factory.linear(in_ch, num_classes)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Stem -> stages -> global average pool -> classifier head."""
         out = self.stem(x)
         for stage in self.stages:
             out = stage(out)
         out = self.pool(out)
         return self.fc(out)
 
+    def export_graph(self, builder, node: int) -> int:
+        """Graph-capture hook: replay :meth:`forward` on the plan builder.
+
+        ``ModuleList`` is not callable, so the stage loop is the structure
+        this hook contributes; everything inside each stage captures through
+        the ``Sequential`` / :class:`~repro.models.blocks.BasicBlock` hooks.
+        """
+        out = builder.emit(self.stem, node, name="stem")
+        for index, stage in enumerate(self.stages):
+            out = builder.emit(stage, out, name=f"stages.{index}")
+        out = builder.emit(self.pool, out, name="pool")
+        return builder.emit(self.fc, out, name="fc")
+
     def describe(self) -> str:
+        """One-line summary: block structure, classes, scheme, parameter count."""
         kind = "FP32" if self.scheme is None else self.scheme.label()
         return (f"ResNet(blocks={[len(s) for s in self.stages]}, "
                 f"classes={self.num_classes}, scheme={kind}, "

@@ -47,9 +47,16 @@ class SimpleCNN(Module):
         self.fc = factory.linear(prev, num_classes)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Feature stages -> global average pool -> classifier head."""
         out = self.features(x)
         out = self.pool(out)
         return self.fc(out)
+
+    def export_graph(self, builder, node: int) -> int:
+        """Graph-capture hook (:mod:`repro.engine.model_plan`): features -> pool -> fc."""
+        out = builder.emit(self.features, node, name="features")
+        out = builder.emit(self.pool, out, name="pool")
+        return builder.emit(self.fc, out, name="fc")
 
 
 class TinyCNN(Module):
@@ -74,7 +81,14 @@ class TinyCNN(Module):
         self.fc = factory.linear(width * 2, num_classes)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Feature extractor -> global average pool -> classifier head."""
         return self.fc(self.pool(self.features(x)))
+
+    def export_graph(self, builder, node: int) -> int:
+        """Graph-capture hook (:mod:`repro.engine.model_plan`): features -> pool -> fc."""
+        out = builder.emit(self.features, node, name="features")
+        out = builder.emit(self.pool, out, name="pool")
+        return builder.emit(self.fc, out, name="fc")
 
 
 class MLP(Module):
@@ -97,6 +111,17 @@ class MLP(Module):
         self.net = Sequential(*layers)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Flatten non-batch dimensions, then run the linear stack."""
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         return self.net(x)
+
+    def export_graph(self, builder, node: int) -> int:
+        """Graph-capture hook (:mod:`repro.engine.model_plan`): flatten -> net.
+
+        The ``flatten`` node reproduces the conditional reshape of
+        :meth:`forward` (a 2-D input reshapes to itself, so emitting it
+        unconditionally is exact).
+        """
+        out = builder.add_op("flatten", [node], name="flatten")
+        return builder.emit(self.net, out, name="net")

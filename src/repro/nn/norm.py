@@ -1,8 +1,20 @@
-"""Normalisation layers."""
+"""Normalisation layers, plus the eval-time folding helpers used to bake
+batch normalisation into deployment artifacts.
+
+At inference time (``track_running_stats`` and eval mode) batch
+normalisation is a fixed per-channel affine map, exposed as plain NumPy
+arrays in two forms: :meth:`_BatchNorm.frozen_stats` returns the raw
+``(mean, denom)`` operands — what the frozen engine's
+:class:`~repro.engine.model_plan.ModelPlan` applies, since replaying the
+module's own operation order keeps float64 artifacts bit-exact — and
+:meth:`_BatchNorm.fold_to_affine` collapses everything into a single
+``(scale, shift)`` pair for consumers that prefer one multiply-add over
+bit-exactness.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +78,42 @@ class _BatchNorm(Module):
         if self.affine:
             x_hat = x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
         return x_hat
+
+    # ------------------------------------------------------------------ #
+    # eval-time folding (deployment artifacts)
+    # ------------------------------------------------------------------ #
+    def frozen_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(running_mean, sqrt(running_var + eps))`` as ``(C,)`` arrays.
+
+        These are exactly the operands of the eval-mode forward
+        (``(x - mean) / denom``), so an executor applying them with the same
+        operation order reproduces this module bit for bit.  Raises
+        ``ValueError`` when the layer tracks no running statistics — then
+        eval-mode BN depends on the batch and cannot be frozen.
+        """
+        if not self.track_running_stats:
+            raise ValueError(
+                "cannot freeze a BatchNorm layer with track_running_stats=False: "
+                "its eval forward depends on the batch statistics")
+        return (self.running_mean.copy(),
+                np.sqrt(self.running_var + self.eps))
+
+    def fold_to_affine(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Collapse the eval-mode normalisation into ``(scale, shift)``.
+
+        Returns per-channel arrays such that ``y = x * scale + shift``
+        reproduces the eval forward up to floating-point reassociation
+        (~1 ulp; use :meth:`frozen_stats` when bit-exactness matters).
+        """
+        mean, denom = self.frozen_stats()
+        inv = 1.0 / denom
+        if self.affine:
+            scale = self.weight.data * inv
+            shift = self.bias.data - mean * scale
+        else:
+            scale = inv
+            shift = -mean * inv
+        return scale, shift
 
     def extra_repr(self) -> str:
         return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"

@@ -1,0 +1,258 @@
+"""Model-level artifacts: capture, save/load round-trip, QAT-free loading.
+
+Acceptance criteria pinned here:
+
+* a saved model plan reloads through the unified ``engine.load_plan`` and
+  reproduces the frozen in-process model to <= 1e-10 (float64 plans are
+  bit-exact by construction: every graph op mirrors its Tensor counterpart's
+  NumPy operations in the same order);
+* loading and running the artifact constructs **no** QAT objects — no CIM
+  layers, no quantizers;
+* corrupted archives fail loudly with :class:`engine.ModelPlanError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.cim import CIMConfig, QuantScheme
+from repro.models import MLP, TinyCNN, resnet8
+from repro.nn import Tensor
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.tensor import no_grad
+
+
+def scheme(quantize_psum: bool) -> QuantScheme:
+    return QuantScheme(weight_bits=3, act_bits=3, psum_bits=3,
+                       weight_granularity="column", psum_granularity="column",
+                       quantize_psum=quantize_psum)
+
+
+CFG = CIMConfig(array_rows=32, array_cols=32, cell_bits=1, adc_bits=3)
+
+
+def build_calibrated(kind: str, quantize_psum: bool):
+    """A small eval-mode model with exercised BN stats, plus an eval batch."""
+    rng = np.random.default_rng(3)
+    if kind == "conv":
+        model = TinyCNN(num_classes=4, width=6, scheme=scheme(quantize_psum),
+                        cim_config=CFG, seed=1)
+        x = np.abs(rng.normal(size=(3, 3, 8, 8)))
+    else:
+        model = MLP(in_features=24, num_classes=5, hidden=(16,),
+                    scheme=scheme(quantize_psum), cim_config=CFG, seed=1)
+        x = np.abs(rng.normal(size=(4, 24)))
+    with no_grad():
+        model(Tensor(x))          # one training-mode pass: BN stats move
+    model.eval()
+    with no_grad():
+        model(Tensor(x))          # calibrate lazy LSQ scales
+    return model, x
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["conv", "linear"])
+    @pytest.mark.parametrize("quantize_psum", [True, False])
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_save_load_parity(self, tmp_path, kind, quantize_psum, dtype):
+        """Saved-then-loaded plans match the frozen in-process model <= 1e-10
+        (float64) and their own pre-save execution exactly (both dtypes)."""
+        model, x = build_calibrated(kind, quantize_psum)
+        engine.freeze(model)
+        reference = model(Tensor(x)).data.copy()
+        plan = engine.compile_model_plan(model, dtype=dtype)
+        path = tmp_path / f"{kind}.npz"
+        engine.save_model_plan(plan, path)
+        loaded = engine.load_plan(path)
+        assert isinstance(loaded, engine.ModelPlan)
+        assert loaded.dtype == dtype
+        out = loaded.execute(x)
+        np.testing.assert_array_equal(out, plan.execute(x))
+        if dtype == "float64":
+            assert np.abs(out - reference).max() <= 1e-10
+        else:
+            assert out.dtype == np.float32
+            assert np.abs(out - reference).max() <= 1e-2
+
+    def test_non_power_of_two_pooling_stays_exact(self):
+        """Global pooling over a 3x3 map divides by 9; the executor must use
+        the Tensor path's sum * (1/count) formulation to stay bit-exact."""
+        from repro.models import SimpleCNN
+        rng = np.random.default_rng(11)
+        model = SimpleCNN(num_classes=4, channels=(4, 6, 8),
+                          scheme=scheme(True), cim_config=CFG, seed=3)
+        x = np.abs(rng.normal(size=(2, 3, 12, 12)))   # 12 -> 12 -> 6 -> 3
+        with no_grad():
+            model(Tensor(x))
+        model.eval()
+        engine.freeze(model, calibrate=Tensor(x))
+        reference = model(Tensor(x)).data
+        plan = engine.compile_model_plan(model)
+        np.testing.assert_array_equal(plan.execute(x), reference)
+
+    def test_compile_from_unfrozen_calibrated_model(self, tmp_path):
+        """Freezing is not required: a calibrated QAT model captures too."""
+        model, x = build_calibrated("conv", True)
+        reference = model(Tensor(x)).data.copy()
+        plan = engine.compile_model_plan(model)
+        assert np.abs(plan.execute(x) - reference).max() <= 1e-10
+
+    def test_calibrate_argument_initializes_lazy_scales(self):
+        model = MLP(in_features=10, num_classes=3, hidden=(8,),
+                    scheme=scheme(True), cim_config=CFG, seed=0)
+        x = np.abs(np.random.default_rng(0).normal(size=(4, 10)))
+        with pytest.raises(engine.PlanNotReadyError):
+            engine.compile_model_plan(model)
+        plan = engine.compile_model_plan(model, calibrate=x)
+        assert plan.n_cim_layers == 2
+
+    def test_resnet8_acceptance(self, tmp_path):
+        """The PR acceptance case: a saved ResNet-8 classifier reloads via
+        ``engine.load_plan`` and matches the frozen in-process logits."""
+        rng = np.random.default_rng(5)
+        model = resnet8(num_classes=8, scheme=scheme(True), cim_config=CFG,
+                        width_multiplier=0.25, seed=0)
+        x = np.abs(rng.normal(size=(2, 3, 12, 12)))
+        with no_grad():
+            model(Tensor(x))
+        model.eval()
+        engine.freeze(model, calibrate=Tensor(x))
+        reference = model(Tensor(x)).data.copy()
+        path = tmp_path / "resnet8.npz"
+        engine.save_model_plan(engine.compile_model_plan(model), path)
+        logits = engine.load_plan(path).execute(x)
+        assert np.abs(logits - reference).max() <= 1e-10
+
+    def test_unified_load_plan_still_loads_layer_archives(self, tmp_path):
+        from repro.core import CIMConv2d
+        conv = CIMConv2d(4, 4, 3, scheme=scheme(True), cim_config=CFG,
+                         rng=np.random.default_rng(0))
+        conv.eval()
+        x = Tensor(np.abs(np.random.default_rng(1).normal(size=(1, 4, 6, 6))))
+        conv(x)
+        path = tmp_path / "layer.npz"
+        plan = engine.compile_conv_plan(conv)
+        engine.save_plan(plan, path)
+        loaded = engine.load_plan(path)
+        assert isinstance(loaded, engine.ConvPlan)
+        np.testing.assert_array_equal(loaded.execute(x.data), plan.execute(x.data))
+
+
+class TestNoQATObjects:
+    def test_load_and_run_constructs_no_qat_objects(self, tmp_path, monkeypatch):
+        """The whole point of the artifact: deployment never touches QAT code."""
+        model, x = build_calibrated("conv", True)
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(engine.compile_model_plan(model), path)
+        expected = engine.load_plan(path).execute(x)
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError(f"{type(self).__name__} constructed at load time")
+
+        import repro.core.cim_conv
+        import repro.core.cim_linear
+        import repro.quant.lsq
+        monkeypatch.setattr(repro.core.cim_conv.CIMConv2d, "__init__", forbidden)
+        monkeypatch.setattr(repro.core.cim_linear.CIMLinear, "__init__", forbidden)
+        monkeypatch.setattr(repro.quant.lsq.LSQQuantizer, "__init__", forbidden)
+        loaded = engine.load_plan(path)
+        np.testing.assert_array_equal(loaded.execute(x), expected)
+
+
+class TestErrorPaths:
+    def test_corrupted_manifest_raises(self, tmp_path):
+        model, _ = build_calibrated("linear", False)
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(engine.compile_model_plan(model), path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files if k != "__manifest__"}
+        np.savez(path, __manifest__=np.frombuffer(b"{not json", dtype=np.uint8),
+                 **arrays)
+        with pytest.raises(engine.ModelPlanError, match="corrupted manifest"):
+            engine.load_plan(path)
+
+    def test_missing_layer_arrays_raise(self, tmp_path):
+        model, _ = build_calibrated("linear", False)
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(engine.compile_model_plan(model), path)
+        with np.load(path) as archive:
+            entries = {k: archive[k] for k in archive.files
+                       if not k.startswith("layer0.")}
+        np.savez(path, **entries)
+        with pytest.raises(engine.ModelPlanError):
+            engine.load_plan(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        import json
+        model, _ = build_calibrated("linear", False)
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(engine.compile_model_plan(model), path)
+        with np.load(path) as archive:
+            manifest = json.loads(bytes(archive["__manifest__"]).decode())
+            arrays = {k: archive[k] for k in archive.files if k != "__manifest__"}
+        manifest["version"] = 999
+        np.savez(path, __manifest__=np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8), **arrays)
+        with pytest.raises(engine.ModelPlanError, match="version"):
+            engine.load_plan(path)
+
+    def test_non_artifact_archive_raises(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(engine.ModelPlanError, match="not an engine artifact"):
+            engine.load_plan(path)
+
+    def test_unexportable_module_raises(self):
+        class Weird(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(engine.ModelPlanError, match="graph-capture hook"):
+            engine.compile_model_plan(Weird())
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported plan dtype"):
+            engine.normalize_dtype("float16")
+
+    def test_enabled_variation_model_rejected(self):
+        """Model plans are deterministic artifacts: an enabled variation
+        model must fail the export loudly, not be silently dropped."""
+        from repro.cim import VariationModel
+        model, _ = build_calibrated("conv", True)
+        for _, layer in model.named_modules():
+            if hasattr(layer, "set_variation") and not hasattr(layer, "layer"):
+                layer.set_variation(VariationModel(sigma=0.2, target="cells",
+                                                   seed=0))
+        with pytest.raises(engine.ModelPlanError, match="variation"):
+            engine.compile_model_plan(model)
+
+
+class TestBatchNormFolding:
+    def test_frozen_stats_match_eval_forward(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm2d(5)
+        x = rng.normal(size=(4, 5, 3, 3))
+        bn(Tensor(x))                      # training pass updates stats
+        bn.eval()
+        ref = bn(Tensor(x)).data
+        mean, denom = bn.frozen_stats()
+        out = ((x - mean.reshape(1, -1, 1, 1)) / denom.reshape(1, -1, 1, 1)
+               * bn.weight.data.reshape(1, -1, 1, 1)
+               + bn.bias.data.reshape(1, -1, 1, 1))
+        np.testing.assert_array_equal(out, ref)
+
+    def test_fold_to_affine_close(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm2d(4)
+        bn(Tensor(rng.normal(size=(6, 4, 2, 2))))
+        bn.eval()
+        x = rng.normal(size=(2, 4, 2, 2))
+        scale, shift = bn.fold_to_affine()
+        out = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out, bn(Tensor(x)).data, atol=1e-12)
+
+    def test_untracked_stats_cannot_freeze(self):
+        bn = BatchNorm2d(3, track_running_stats=False)
+        with pytest.raises(ValueError, match="track_running_stats"):
+            bn.frozen_stats()

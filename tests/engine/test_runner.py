@@ -1,0 +1,130 @@
+"""Batched inference runner: micro-batching semantics, buffers, timing stats."""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.cim import CIMConfig, QuantScheme
+from repro.models import TinyCNN
+from repro.nn import Tensor
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def plan_and_data():
+    rng = np.random.default_rng(7)
+    model = TinyCNN(num_classes=4, width=6,
+                    scheme=QuantScheme(weight_bits=3, act_bits=3, psum_bits=3),
+                    cim_config=CIMConfig(array_rows=32, array_cols=32,
+                                         cell_bits=1, adc_bits=3),
+                    seed=2)
+    x = np.abs(rng.normal(size=(11, 3, 8, 8)))
+    with no_grad():
+        model(Tensor(x))
+    model.eval()
+    plan = engine.compile_model_plan(model, calibrate=x)
+    return model, plan, x
+
+
+class TestMicroBatching:
+    @pytest.mark.parametrize("batch_size", [1, 3, 11, 16])
+    def test_stream_matches_single_batch(self, plan_and_data, batch_size):
+        """Any micro-batch size (including partial final batches) reproduces
+        the single-big-batch output, row for row and in order."""
+        _, plan, x = plan_and_data
+        reference = plan.execute(x)
+        runner = engine.InferenceRunner(plan, batch_size=batch_size)
+        outs = np.stack(list(runner.run(iter(x))))
+        np.testing.assert_array_equal(outs, reference)
+
+    def test_predict_matches_stream(self, plan_and_data):
+        _, plan, x = plan_and_data
+        reference = plan.execute(x)
+        pred = engine.InferenceRunner(plan, batch_size=4).predict(x)
+        np.testing.assert_array_equal(pred, reference)
+
+    def test_outputs_survive_buffer_reuse(self, plan_and_data):
+        """Yielded rows are copies: later batches must not mutate them."""
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=2)
+        rows = []
+        snapshots = []
+        for row in runner.run(iter(x)):
+            rows.append(row)
+            snapshots.append(row.copy())
+        for row, snap in zip(rows, snapshots):
+            np.testing.assert_array_equal(row, snap)
+
+    def test_multiple_streams_reuse_one_runner(self, plan_and_data):
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        first = np.stack(list(runner.run(iter(x[:5]))))
+        second = np.stack(list(runner.run(iter(x[5:]))))
+        np.testing.assert_array_equal(np.concatenate([first, second]),
+                                      plan.execute(x))
+
+    def test_no_reuse_mode_matches(self, plan_and_data):
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4, reuse_buffers=False,
+                                        collect_timings=False)
+        np.testing.assert_array_equal(runner.predict(x), plan.execute(x))
+
+    def test_invalid_batch_size(self, plan_and_data):
+        _, plan, _ = plan_and_data
+        with pytest.raises(ValueError):
+            engine.InferenceRunner(plan, batch_size=0)
+
+    def test_empty_predict_raises(self, plan_and_data):
+        _, plan, x = plan_and_data
+        with pytest.raises(ValueError):
+            engine.InferenceRunner(plan).predict(x[:0])
+
+    def test_shape_change_mid_batch_raises(self, plan_and_data):
+        """A shape change with samples already staged must fail loudly, not
+        silently serve uninitialized staging rows."""
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        stream = [x[0], x[1], np.zeros((3, 10, 10))]
+        with pytest.raises(ValueError, match="shape changed mid-batch"):
+            list(runner.run(iter(stream)))
+
+
+class TestStats:
+    def test_counters_and_per_layer_timings(self, plan_and_data):
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        list(runner.run(iter(x)))
+        stats = runner.stats
+        assert stats.samples == x.shape[0]
+        assert stats.batches == 3          # 4 + 4 + 3
+        assert stats.seconds > 0
+        assert stats.throughput > 0
+        per_layer = stats.per_layer()
+        assert per_layer, "per-layer timings should be populated"
+        names = {name for name, _, _ in per_layer}
+        assert any("fc" in name for name in names)
+        calls = stats.layer_calls[per_layer[0][0]]
+        assert calls == stats.batches
+        payload = stats.to_dict()
+        assert payload["samples"] == x.shape[0]
+        assert payload["per_layer"][0]["seconds"] >= payload["per_layer"][-1]["seconds"]
+
+    def test_reset(self, plan_and_data):
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        list(runner.run(iter(x)))
+        runner.stats.reset()
+        assert runner.stats.samples == 0
+        assert runner.stats.throughput == 0.0
+        assert not runner.stats.layer_seconds
+
+    def test_float32_plan_runs(self, plan_and_data, tmp_path):
+        """The runner serves half-width artifacts end to end (save/load/run)."""
+        model, plan, x = plan_and_data
+        path = tmp_path / "f32.npz"
+        engine.save_model_plan(engine.compile_model_plan(model, dtype="float32"),
+                               path)
+        loaded = engine.load_plan(path)
+        out = engine.InferenceRunner(loaded, batch_size=4).predict(x)
+        assert out.dtype == np.float32
+        assert np.abs(out - plan.execute(x)).max() <= 1e-2

@@ -23,6 +23,7 @@ from typing import Iterator, List, Tuple
 
 DEFAULT_TARGETS = (
     "src/repro/engine",
+    "src/repro/models",
     "src/repro/core/psum.py",
     "src/repro/core/pipeline.py",
     "src/repro/cim/cost.py",

@@ -1,0 +1,88 @@
+"""Extract and execute the fenced ``python`` snippets of a markdown file.
+
+Documentation that cannot run is documentation that rots.  This tool pulls
+every fenced code block whose info string is exactly ``python`` out of the
+given markdown files and executes them **in order, in one shared
+namespace** — so a guide can build state across snippets the way a reader
+would in a REPL.  Blocks fenced with any other info string (``text``,
+``json``, ``python no-run`` ...) are ignored, which is how schema sketches
+and illustrative fragments opt out.
+
+Usage::
+
+    python tools/run_doc_snippets.py docs/engine.md [more.md ...]
+
+Exits non-zero on the first failing snippet, printing the file, the snippet
+index and the offending code.  Used by the ``docs-check`` Makefile target to
+keep ``docs/engine.md`` executable.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from typing import List, Tuple
+
+FENCE = re.compile(r"^```(.*?)\s*$")
+
+
+def extract_snippets(path: str) -> List[Tuple[int, str]]:
+    """Return ``(start_line, code)`` for each runnable ``python`` block."""
+    snippets: List[Tuple[int, str]] = []
+    lines = open(path, encoding="utf-8").read().splitlines()
+    in_block = False
+    runnable = False
+    start = 0
+    buffer: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = FENCE.match(line)
+        if match and not in_block:
+            in_block = True
+            runnable = match.group(1).strip() == "python"
+            start = lineno + 1
+            buffer = []
+        elif match and in_block:
+            if runnable and buffer:
+                snippets.append((start, "\n".join(buffer)))
+            in_block = False
+        elif in_block:
+            buffer.append(line)
+    return snippets
+
+
+def run_file(path: str) -> int:
+    """Execute every runnable snippet of ``path``; return the failure count."""
+    snippets = extract_snippets(path)
+    if not snippets:
+        print(f"{path}: no runnable python snippets found", file=sys.stderr)
+        return 1
+    namespace: dict = {"__name__": f"doc_snippets[{path}]"}
+    for index, (lineno, code) in enumerate(snippets, start=1):
+        try:
+            exec(compile(code, f"{path}:snippet{index}(line {lineno})", "exec"),
+                 namespace)
+        except Exception:
+            print(f"\n{path}: snippet {index} (line {lineno}) failed:\n",
+                  file=sys.stderr)
+            print(code, file=sys.stderr)
+            traceback.print_exc()
+            return 1
+    print(f"doc-snippets: OK ({len(snippets)} snippet(s) from {path})")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    """Run the snippets of every markdown file given on the command line."""
+    if not argv:
+        print("usage: run_doc_snippets.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        status = run_file(path)
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
