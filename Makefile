@@ -3,9 +3,13 @@
 #   make verify       - the one-command gate: tier-1 tests + docs-check + bench-smoke
 #   make test         - tier-1 test suite (unit + property + integration)
 #   make test-engine  - just the frozen-engine suite
+#   make coverage     - engine line coverage gate (pytest + tools/run_coverage.py,
+#                       fails under 85%; uses the coverage package when present,
+#                       a stdlib settrace fallback otherwise)
 #   make bench-smoke  - fast smoke pass over the benchmark harness
 #   make bench-engine - frozen-engine speedup benchmark at default scale
 #   make bench-runner - batched inference-runner throughput benchmark
+#   make bench-server - concurrent PlanServer throughput benchmark
 #   make docs-check   - fail on undocumented public APIs in the documented
 #                       modules + run the fenced python snippets of docs/engine.md
 #   make install      - editable install (works without the wheel package)
@@ -15,7 +19,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine bench-smoke bench-engine bench-runner docs-check install
+.PHONY: verify test test-engine coverage bench-smoke bench-engine bench-runner bench-server docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -25,14 +29,20 @@ test:
 test-engine:
 	$(PYTHON) -m pytest tests/engine -q
 
+coverage:
+	$(PYTHON) tools/run_coverage.py --source src/repro/engine --fail-under 85 tests/engine -q
+
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
 
 bench-runner:
 	$(PYTHON) benchmarks/bench_runner_throughput.py
+
+bench-server:
+	$(PYTHON) benchmarks/bench_server_concurrency.py
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/cim/cost.py

@@ -11,13 +11,52 @@ the common mechanics once:
   environment variable (so overriding one benchmark's path can never
   clobber another's artifact), and ``tiny``-scale smoke runs write nothing
   unless an explicit path insists, keeping the tracked artifacts at
-  comparable default-scale numbers.
+  comparable default-scale numbers;
+* :func:`calibrated_frozen_resnet8` — the reference serving model the
+  engine benchmarks measure, built once here so they all measure the
+  **same** scheme/geometry/calibration.
 """
 
 import json
 import os
 import time
 from typing import Optional
+
+
+def calibrated_frozen_resnet8(image: int, width: float, num_classes: int = 8,
+                              seed: int = 0):
+    """Train-free reference model of the serving benchmarks, frozen.
+
+    A reduced ResNet-8 under the paper's column/column 3-bit scheme on a
+    64x64 crossbar, calibrated on a seeded batch (moves the BatchNorm stats
+    and initializes the lazy LSQ scales) and frozen into the compiled fast
+    path.  ``bench_runner_throughput`` and ``bench_server_concurrency``
+    both compile their artifacts from this one definition, so a change to
+    the reference workload cannot leave the two benchmarks measuring
+    different models.
+    """
+    import numpy as np
+
+    from repro import engine
+    from repro.cim import CIMConfig, QuantScheme
+    from repro.models import resnet8
+    from repro.nn import Tensor
+    from repro.nn.tensor import no_grad
+
+    rng = np.random.default_rng(seed)
+    model = resnet8(num_classes=num_classes,
+                    scheme=QuantScheme(weight_bits=3, act_bits=3, psum_bits=3,
+                                       weight_granularity="column",
+                                       psum_granularity="column"),
+                    cim_config=CIMConfig(array_rows=64, array_cols=64,
+                                         cell_bits=1, adc_bits=3),
+                    width_multiplier=width, seed=seed)
+    calib = np.abs(rng.normal(size=(4, 3, image, image)))
+    with no_grad():
+        model(Tensor(calib))               # move BN stats off their init values
+    model.eval()
+    engine.freeze(model, calibrate=Tensor(calib))
+    return model
 
 
 def bench_scale() -> str:

@@ -26,13 +26,11 @@ import time
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from bench_artifacts import bench_scale, write_artifact as _write_artifact
+from bench_artifacts import (bench_scale, calibrated_frozen_resnet8,
+                             write_artifact as _write_artifact)
 
 from repro import engine
-from repro.cim import CIMConfig, QuantScheme
-from repro.models import resnet8
 from repro.nn import Tensor
-from repro.nn.tensor import no_grad
 
 
 def _settings():
@@ -44,19 +42,8 @@ def _settings():
 
 def _build_artifact(tmp_dir, cfg):
     """Train-free ResNet-8 artifact: calibrate, freeze, save, load."""
-    rng = np.random.default_rng(0)
-    model = resnet8(num_classes=8,
-                    scheme=QuantScheme(weight_bits=3, act_bits=3, psum_bits=3,
-                                       weight_granularity="column",
-                                       psum_granularity="column"),
-                    cim_config=CIMConfig(array_rows=64, array_cols=64,
-                                         cell_bits=1, adc_bits=3),
-                    width_multiplier=cfg["width"], seed=0)
-    calib = np.abs(rng.normal(size=(4, 3, cfg["image"], cfg["image"])))
-    with no_grad():
-        model(Tensor(calib))               # move BN stats off their init values
-    model.eval()
-    engine.freeze(model, calibrate=Tensor(calib))
+    model = calibrated_frozen_resnet8(cfg["image"], cfg["width"])
+    rng = np.random.default_rng(100)
     reference_in = np.abs(rng.normal(size=(2, 3, cfg["image"], cfg["image"])))
     reference_out = model(Tensor(reference_in)).data.copy()
     path = os.path.join(tmp_dir, "resnet8_plan.npz")

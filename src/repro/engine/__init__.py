@@ -18,15 +18,22 @@ compiles that work out, at two granularities:
   the inter-layer op graph in one ``.npz`` + JSON manifest, reloadable with
   :func:`load_plan` into a runnable executor without constructing the QAT
   model or its quantizers;
-* :class:`InferenceRunner` — micro-batching over a sample stream with
-  reused activation buffers and per-layer timing stats.
+* :class:`InferenceRunner` / :class:`PlanExecutor` — micro-batching over a
+  sample stream with reused activation buffers and per-layer timing stats,
+  built on the shared batch-execution core;
+* :class:`PlanServer` (+ :class:`DynamicBatcher`) — the concurrent serving
+  subsystem: per-request ``submit``/futures, dynamic batching (flush on
+  ``max_batch`` / ``max_wait_ms``), a pool of thread- or process-backed
+  shard executors, bounded-queue backpressure, and an LRU result cache;
+  :func:`load_plan_cached` adds an artifact-path plan cache for hot reloads.
 
 :func:`load_plan` accepts both artifact kinds (model archives carry a
 ``__manifest__`` entry, layer archives a ``__meta__`` entry).  The fast
 paths are numerically equivalent to the seed layers — see ``tests/engine/``,
-``benchmarks/bench_engine_speedup.py`` and
-``benchmarks/bench_runner_throughput.py``, and ``docs/engine.md`` for the
-full lifecycle guide and artifact schema.
+``benchmarks/bench_engine_speedup.py``,
+``benchmarks/bench_runner_throughput.py`` and
+``benchmarks/bench_server_concurrency.py``, and ``docs/engine.md`` for the
+full lifecycle guide, artifact schema and serving knobs.
 """
 
 from .api import freeze, frozen_layers, is_frozen, thaw
@@ -38,7 +45,10 @@ from .plan import (ConvPlan, LinearPlan, PlanNotReadyError, compile_conv_plan,
                    compile_linear_plan, compile_plan, layer_signature,
                    load_plan as load_layer_plan, normalize_dtype, save_plan,
                    signature_ready)
-from .runner import InferenceRunner, RunnerStats
+from .runner import InferenceRunner, PlanExecutor, RunnerStats
+from .scheduler import DynamicBatcher, Request, SchedulerClosed, SchedulerStats
+from .server import (LRUCache, PlanServer, ServerClosed, ShardDied,
+                     clear_plan_cache, load_plan_cached)
 
 __all__ = [
     "freeze", "thaw", "is_frozen", "frozen_layers",
@@ -49,5 +59,8 @@ __all__ = [
     "save_plan", "load_plan", "load_layer_plan",
     "GraphBuilder", "GraphNode", "ModelPlan", "ModelPlanError",
     "compile_model_plan", "save_model_plan", "load_model_plan",
-    "InferenceRunner", "RunnerStats",
+    "InferenceRunner", "PlanExecutor", "RunnerStats",
+    "DynamicBatcher", "Request", "SchedulerStats", "SchedulerClosed",
+    "PlanServer", "ServerClosed", "ShardDied", "LRUCache",
+    "load_plan_cached", "clear_plan_cache",
 ]

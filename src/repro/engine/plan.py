@@ -274,7 +274,9 @@ class ConvPlan(_PlanBase):
         a = self._quantize_acts(x)
         cols = F.unfold_array(a, self.kernel_size, self.stride, self.padding,
                               layout="nlk")                 # (N, L, D)
-        out = self._contract(cols.reshape(n * length, -1), variation)  # (NL, OC)
+        # explicit D (not -1): zero-row batches make -1 ambiguous
+        out = self._contract(cols.reshape(n * length, cols.shape[2]),
+                             variation)                     # (NL, OC)
         if self.act_scale is not None:
             out *= self.act_scale
         out = out.reshape(n, length, self.out_channels).transpose(0, 2, 1)

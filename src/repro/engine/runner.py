@@ -2,28 +2,30 @@
 
 A :class:`~repro.engine.model_plan.ModelPlan` executes one batch at a time;
 serving traffic means feeding it a *stream* of samples at a batch size that
-keeps the GEMMs fat.  :class:`InferenceRunner` does exactly that:
+keeps the GEMMs fat.  Two layers of machinery live here:
 
-* **micro-batching** — samples from any iterable are staged into a
-  preallocated batch buffer and executed ``batch_size`` at a time (the final
-  partial batch runs at its natural size);
-* **buffer reuse** — the staging buffer and the element-wise activation
-  buffers inside the plan (ReLU, residual adds, folded BN) are allocated
-  once and reused across batches, so steady-state serving does not churn
-  large allocations;
-* **per-layer timing** — each run accumulates wall-clock seconds per graph
-  node into :class:`RunnerStats`, giving a deployment-side view of where
-  inference time goes (the QAT-side counterpart of the engine speedup
-  benchmark).
+* :class:`PlanExecutor` — the reusable execution core: it owns the
+  per-executor mutable state (the activation-buffer workspace and the
+  :class:`RunnerStats` counters) and exposes :meth:`PlanExecutor.execute_batch`,
+  the single entry point every batch in the engine goes through.  The
+  concurrent :class:`~repro.engine.server.PlanServer` builds one executor per
+  shard, so shards never contend on buffers or stats;
+* :class:`InferenceRunner` — single-stream micro-batching on top of one
+  executor: samples from any iterable are staged into a preallocated batch
+  buffer and executed ``batch_size`` at a time (the final partial batch runs
+  at its natural size), with per-layer timing accumulated into
+  :attr:`InferenceRunner.stats`.
 
 The runner is throughput-oriented, not a scheduler: it preserves input
-order, yields one output row per input sample, and leaves concurrency to the
-caller.  ``benchmarks/bench_runner_throughput.py`` pins the contract that
+order, yields one output row per input sample, and leaves concurrency to
+:class:`~repro.engine.server.PlanServer` (dynamic batching over sharded
+executors).  ``benchmarks/bench_runner_throughput.py`` pins the contract that
 micro-batched execution beats a naive per-sample loop by >= 1.5x.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -32,12 +34,30 @@ import numpy as np
 
 from .model_plan import ModelPlan
 
-__all__ = ["InferenceRunner", "RunnerStats"]
+__all__ = ["InferenceRunner", "PlanExecutor", "RunnerStats",
+           "empty_batch_result"]
+
+
+def empty_batch_result(plan, batch: np.ndarray) -> np.ndarray:
+    """Typed empty output for a zero-length batch (shared predict() branch).
+
+    Executes a ``(0, *sample_shape)`` array through the plan so the result
+    carries the true output shape and dtype.  The sample axes must be
+    present — a bare ``(0,)`` array has no geometry to infer them from and
+    raises :class:`ValueError`.
+    """
+    if batch.ndim < 2:
+        raise ValueError(
+            "empty predict() input must keep its sample axes, e.g. "
+            "shape (0, C, H, W); a bare (0,) array carries no "
+            "geometry to infer the output shape from")
+    empty = np.empty((0,) + batch.shape[1:], dtype=plan.np_dtype)
+    return np.asarray(plan.execute(empty))
 
 
 @dataclass
 class RunnerStats:
-    """Aggregated execution statistics of one :class:`InferenceRunner`.
+    """Aggregated execution statistics of one executor (or a merged roll-up).
 
     ``seconds`` counts time spent inside plan execution (staging and
     bookkeeping excluded); ``layer_seconds`` / ``layer_calls`` break it down
@@ -62,7 +82,7 @@ class RunnerStats:
                       key=lambda row: row[1], reverse=True)
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary (used by the benchmark artifact)."""
+        """JSON-serializable summary (used by the benchmark artifacts)."""
         return {
             "samples": self.samples,
             "batches": self.batches,
@@ -72,6 +92,21 @@ class RunnerStats:
                           for name, secs, calls in self.per_layer()],
         }
 
+    def merge(self, other: "RunnerStats") -> "RunnerStats":
+        """Accumulate ``other`` into this instance (and return it).
+
+        Used by :meth:`~repro.engine.server.PlanServer.stats_report` to roll
+        per-shard stats up into one server-level total.
+        """
+        self.samples += other.samples
+        self.batches += other.batches
+        self.seconds += other.seconds
+        for name, secs in other.layer_seconds.items():
+            self.layer_seconds[name] = self.layer_seconds.get(name, 0.0) + secs
+        for name, calls in other.layer_calls.items():
+            self.layer_calls[name] = self.layer_calls.get(name, 0) + calls
+        return self
+
     def reset(self) -> None:
         """Zero all counters (e.g. after warm-up runs)."""
         self.samples = 0
@@ -79,6 +114,74 @@ class RunnerStats:
         self.seconds = 0.0
         self.layer_seconds.clear()
         self.layer_calls.clear()
+
+
+class PlanExecutor:
+    """The reusable batch-execution core over one plan.
+
+    Owns everything mutable about executing batches — the activation-buffer
+    ``workspace`` reused across calls and the :class:`RunnerStats`
+    accumulator — while the plan itself stays read-only shared data.  One
+    plan can therefore back many executors concurrently (one per server
+    shard) without any cross-executor contention.
+
+    Parameters
+    ----------
+    plan:
+        The model plan (or any object with a compatible
+        ``execute(x, timings=..., workspace=...)`` method and ``np_dtype``).
+    collect_timings:
+        When true (default), per-node wall-clock seconds accumulate into
+        :attr:`stats`; disable to shave the bookkeeping off the hot path.
+    reuse_buffers:
+        When true (default), element-wise graph nodes write into
+        preallocated activation buffers reused across batches.  Outputs of a
+        buffer-reusing executor are only valid until its next
+        :meth:`execute_batch` — copy rows that must outlive the batch.
+    """
+
+    def __init__(self, plan: ModelPlan, collect_timings: bool = True,
+                 reuse_buffers: bool = True):
+        self.plan = plan
+        self.collect_timings = collect_timings
+        self.stats = RunnerStats()
+        self._workspace: Optional[dict] = {} if reuse_buffers else None
+        self._stats_lock = threading.Lock()
+
+    def execute_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Run one ``(N, ...)`` batch through the plan, updating :attr:`stats`.
+
+        Per-batch timings accumulate into a local dict first and merge into
+        :attr:`stats` under a lock at the end, so a concurrent
+        :meth:`stats_snapshot` (the server's stats report) never observes a
+        half-updated batch.
+        """
+        timings: Optional[Dict[str, float]] = \
+            {} if self.collect_timings else None
+        start = time.perf_counter()
+        out = self.plan.execute(batch, timings=timings,
+                                workspace=self._workspace)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self.stats.seconds += elapsed
+            self.stats.batches += 1
+            self.stats.samples += batch.shape[0]
+            if timings:
+                for name, secs in timings.items():
+                    self.stats.layer_seconds[name] = \
+                        self.stats.layer_seconds.get(name, 0.0) + secs
+                    self.stats.layer_calls[name] = \
+                        self.stats.layer_calls.get(name, 0) + 1
+        return out
+
+    def stats_snapshot(self) -> RunnerStats:
+        """A consistent copy of :attr:`stats`, safe to read while serving."""
+        with self._stats_lock:
+            return RunnerStats(samples=self.stats.samples,
+                               batches=self.stats.batches,
+                               seconds=self.stats.seconds,
+                               layer_seconds=dict(self.stats.layer_seconds),
+                               layer_calls=dict(self.stats.layer_calls))
 
 
 class InferenceRunner:
@@ -105,12 +208,25 @@ class InferenceRunner:
                  collect_timings: bool = True, reuse_buffers: bool = True):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        self.plan = plan
+        self.executor = PlanExecutor(plan, collect_timings=collect_timings,
+                                     reuse_buffers=reuse_buffers)
         self.batch_size = int(batch_size)
-        self.collect_timings = collect_timings
-        self.stats = RunnerStats()
-        self._workspace: Optional[dict] = {} if reuse_buffers else None
         self._staging: Optional[np.ndarray] = None
+
+    @property
+    def plan(self):
+        """The plan the runner serves (delegated to its executor)."""
+        return self.executor.plan
+
+    @property
+    def stats(self) -> RunnerStats:
+        """Execution statistics (delegated to the underlying executor)."""
+        return self.executor.stats
+
+    @property
+    def collect_timings(self) -> bool:
+        """Whether per-layer timings are being collected."""
+        return self.executor.collect_timings
 
     # ------------------------------------------------------------------ #
     def _ensure_staging(self, sample: np.ndarray) -> np.ndarray:
@@ -123,19 +239,7 @@ class InferenceRunner:
         return staging
 
     def _flush(self, count: int) -> np.ndarray:
-        batch = self._staging[:count]
-        timings = self.stats.layer_seconds if self.collect_timings else None
-        start = time.perf_counter()
-        out = self.plan.execute(batch, timings=timings,
-                                workspace=self._workspace)
-        self.stats.seconds += time.perf_counter() - start
-        self.stats.batches += 1
-        self.stats.samples += count
-        if self.collect_timings:
-            for node in getattr(self.plan, "nodes", [])[1:]:
-                self.stats.layer_calls[node.name] = \
-                    self.stats.layer_calls.get(node.name, 0) + 1
-        return out
+        return self.executor.execute_batch(self._staging[:count])
 
     # ------------------------------------------------------------------ #
     def run(self, stream: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
@@ -144,7 +248,8 @@ class InferenceRunner:
         ``stream`` yields single samples (no batch axis); they are staged
         into micro-batches of :attr:`batch_size` and flushed when full (and
         once more, at natural size, when the stream ends).  Yielded rows are
-        copies and stay valid indefinitely.
+        copies and stay valid indefinitely.  An empty stream yields nothing
+        and leaves :attr:`stats` untouched.
         """
         count = 0
         for sample in stream:
@@ -173,8 +278,13 @@ class InferenceRunner:
         Returns the stacked ``(N, ...)`` outputs.  Equivalent to
         ``np.stack(list(self.run(iter(batch))))`` but avoids the per-row
         copies by writing each micro-batch result straight into the output.
+        An empty ``(0, *sample_shape)`` batch returns an empty array of the
+        plan's output shape and dtype (the sample axes must still be present
+        so the plan knows its geometry — a bare ``(0,)`` array raises).
         """
         batch = np.asarray(batch)
+        if batch.shape[0] == 0:
+            return empty_batch_result(self.plan, batch)
         outputs: Optional[np.ndarray] = None
         done = 0
         for start in range(0, batch.shape[0], self.batch_size):
@@ -188,6 +298,4 @@ class InferenceRunner:
                                    dtype=out.dtype)
             outputs[done:done + out.shape[0]] = out
             done += out.shape[0]
-        if outputs is None:
-            raise ValueError("predict() needs at least one sample")
         return outputs

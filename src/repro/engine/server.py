@@ -1,0 +1,500 @@
+"""Concurrent plan server: dynamic batching over a pool of sharded executors.
+
+:class:`~repro.engine.runner.InferenceRunner` serves one stream from one
+caller; :class:`PlanServer` serves *many* callers.  Requests enter through
+:meth:`PlanServer.submit` / :meth:`PlanServer.submit_many` and flow through
+three layers:
+
+1. an optional **LRU result cache** — requests whose input digest was served
+   before resolve immediately, without touching the queue;
+2. the :class:`~repro.engine.scheduler.DynamicBatcher` — a bounded FIFO
+   queue that coalesces individual requests into batches (flush on
+   ``max_batch`` or ``max_wait_ms``, whichever first) and applies
+   backpressure when producers outrun the shards;
+3. a pool of **shard workers** — N executors over the same read-only plan,
+   each owning its private activation buffers and
+   :class:`~repro.engine.runner.RunnerStats` so shards never contend.
+   Thread-backed shards (default) run the GEMMs in-process; process-backed
+   shards (``backend="process"``) fork one child per shard and stream
+   batches over a pipe, stepping around the GIL entirely.
+
+Every request gets a :class:`concurrent.futures.Future` resolving to its own
+output row, so per-request ordering is trivially preserved no matter how
+batches are formed or which shard finishes first.  A second, module-level
+**plan cache** (:func:`load_plan_cached`) makes constructing servers from
+artifact paths cheap: hot reloads of the same ``.npz`` skip the disk parse
+until the file actually changes.
+
+Numerics: shards execute the same plan arrays as a single runner, and row
+results are independent of batch composition, so a float64 server is
+bit-identical to the single-runner path —
+``benchmarks/bench_server_concurrency.py`` pins that, plus the >= 1.3x
+aggregate-throughput contract of dynamic batching over per-request serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .model_plan import load_plan
+from .runner import PlanExecutor, RunnerStats, empty_batch_result
+from .scheduler import DynamicBatcher, Request, SchedulerClosed
+
+__all__ = ["PlanServer", "ServerClosed", "ShardDied", "LRUCache",
+           "load_plan_cached", "clear_plan_cache"]
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to a :class:`PlanServer` that has been closed."""
+
+
+class ShardDied(RuntimeError):
+    """A worker shard became unusable mid-serving (e.g. its process was killed).
+
+    Requests in the failing batch receive this exception; the dead shard is
+    retired and the remaining shards keep serving.  If the *last* shard
+    dies, the server closes itself and fails all queued requests with this
+    error rather than letting them hang.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# caches
+# --------------------------------------------------------------------------- #
+class LRUCache:
+    """A small thread-safe least-recently-used cache with hit/miss counters."""
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        """Return the cached value or ``None``; touches LRU order on hit."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        """Insert ``key``; evicts the least-recently-used entry when full."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the hit/miss counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable counters for the server stats report."""
+        return {"entries": len(self), "max_entries": self.max_entries,
+                "hits": self.hits, "misses": self.misses}
+
+
+_PLAN_CACHE = LRUCache(max_entries=8)
+
+
+def load_plan_cached(path):
+    """:func:`~repro.engine.model_plan.load_plan` behind a process-wide LRU.
+
+    Keyed on the absolute path *and* the file's (mtime, size) stat, so a
+    rewritten artifact is transparently reloaded while hot reloads of an
+    unchanged file cost one ``stat`` call.  Callers share the returned plan
+    object — plans are read-only at execution time, which is what makes the
+    sharing (and the server's shard pool) safe.
+    """
+    path = os.path.abspath(os.fspath(path))
+    stat = os.stat(path)
+    key = (path, stat.st_mtime_ns, stat.st_size)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = load_plan(path)
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (e.g. between benchmark phases)."""
+    _PLAN_CACHE.clear()
+
+
+def _digest(sample: np.ndarray) -> bytes:
+    """Cache key of one request payload: shape + dtype + content hash."""
+    h = hashlib.sha1()
+    h.update(str(sample.shape).encode())
+    h.update(str(sample.dtype).encode())
+    h.update(np.ascontiguousarray(sample).tobytes())
+    return h.digest()
+
+
+# --------------------------------------------------------------------------- #
+# shards
+# --------------------------------------------------------------------------- #
+class _ThreadShard:
+    """A shard executing in-process through its own :class:`PlanExecutor`."""
+
+    def __init__(self, plan, collect_timings: bool):
+        self._executor = PlanExecutor(plan, collect_timings=collect_timings)
+
+    @property
+    def stats(self) -> RunnerStats:
+        return self._executor.stats
+
+    def stats_snapshot(self) -> RunnerStats:
+        return self._executor.stats_snapshot()
+
+    def execute_batch(self, batch: np.ndarray) -> np.ndarray:
+        return self._executor.execute_batch(batch)
+
+    def close(self) -> None:
+        pass
+
+
+def _process_shard_main(conn, plan, collect_timings: bool) -> None:
+    """Child-process loop of a process-backed shard: recv batch, send rows."""
+    executor = PlanExecutor(plan, collect_timings=collect_timings)
+    while True:
+        try:
+            batch = conn.recv()
+        except EOFError:
+            break
+        if batch is None:
+            break
+        try:
+            out = executor.execute_batch(batch)
+            conn.send(("ok", np.asarray(out), executor.stats))
+        except Exception as error:   # noqa: BLE001 — relayed to the parent
+            conn.send(("err", f"{type(error).__name__}: {error}", None))
+    conn.close()
+
+
+class _ProcessShard:
+    """A shard forked into its own process, fed batches over a pipe.
+
+    The child inherits the plan via fork (no pickling of the arrays); each
+    round-trip ships one batch in and one result out.  ``stats`` mirrors the
+    child's executor stats as of the last completed batch, with the parent's
+    pipe round-trip time substituted for ``seconds`` so the server-level
+    report reflects what callers actually experienced.
+    """
+
+    def __init__(self, plan, collect_timings: bool):
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(target=_process_shard_main,
+                                 args=(child_conn, plan, collect_timings),
+                                 daemon=True)
+        self._proc.start()
+        child_conn.close()
+        self.stats = RunnerStats()
+        self._stats_lock = threading.Lock()
+
+    def stats_snapshot(self) -> RunnerStats:
+        with self._stats_lock:
+            return RunnerStats(samples=self.stats.samples,
+                               batches=self.stats.batches,
+                               seconds=self.stats.seconds,
+                               layer_seconds=dict(self.stats.layer_seconds),
+                               layer_calls=dict(self.stats.layer_calls))
+
+    def execute_batch(self, batch: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        try:
+            self._conn.send(batch)
+            status, payload, child_stats = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise ShardDied(
+                f"process shard (pid {self._proc.pid}) died mid-batch: "
+                f"{type(error).__name__}: {error}") from error
+        elapsed = time.perf_counter() - start
+        if status != "ok":
+            raise RuntimeError(f"process shard failed: {payload}")
+        with self._stats_lock:
+            if child_stats is not None:
+                self.stats.samples = child_stats.samples
+                self.stats.batches = child_stats.batches
+                self.stats.layer_seconds = child_stats.layer_seconds
+                self.stats.layer_calls = child_stats.layer_calls
+            self.stats.seconds += elapsed
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# the server
+# --------------------------------------------------------------------------- #
+class PlanServer:
+    """Concurrent request-facing front end over a frozen model plan.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.engine.model_plan.ModelPlan` (or any executor with a
+        compatible ``execute``/``np_dtype`` surface), **or** a path to a
+        saved artifact — paths go through :func:`load_plan_cached`, so
+        serving the same file twice reuses the parsed plan.
+    n_shards:
+        Number of worker executors.  Shards share the read-only plan but own
+        private activation buffers and stats.
+    backend:
+        ``"thread"`` (default) or ``"process"`` (fork-based; POSIX only).
+    max_batch / max_wait_ms / queue_size:
+        Dynamic batching knobs, passed to
+        :class:`~repro.engine.scheduler.DynamicBatcher`: flush when
+        ``max_batch`` requests are pending or the oldest has waited
+        ``max_wait_ms``; ``queue_size`` bounds the backlog (backpressure).
+    result_cache_entries:
+        When > 0, an LRU cache keyed on the input digest serves repeated
+        requests without executing; cached rows are returned read-only.
+    collect_timings:
+        Forwarded to each shard's executor (per-layer timing stats).
+
+    Use as a context manager, or call :meth:`close` — close drains queued
+    requests before the workers exit, so no accepted request is dropped.
+    """
+
+    def __init__(self, plan, n_shards: int = 2, backend: str = "thread",
+                 max_batch: int = 16, max_wait_ms: float = 2.0,
+                 queue_size: int = 256, result_cache_entries: int = 0,
+                 collect_timings: bool = True):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; "
+                             "expected 'thread' or 'process'")
+        if isinstance(plan, (str, os.PathLike)):
+            plan = load_plan_cached(plan)
+        self.plan = plan
+        self.backend = backend
+        self.batcher = DynamicBatcher(max_batch=max_batch,
+                                      max_wait_ms=max_wait_ms,
+                                      queue_size=queue_size)
+        self.result_cache = (LRUCache(result_cache_entries)
+                             if result_cache_entries > 0 else None)
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._closed = False
+        self._retire_lock = threading.Lock()
+        self._live_workers = n_shards
+        shard_cls = _ThreadShard if backend == "thread" else _ProcessShard
+        self._shards = [shard_cls(plan, collect_timings)
+                        for _ in range(n_shards)]
+        self._workers = [
+            threading.Thread(target=self._worker_loop, args=(shard,),
+                             name=f"plan-server-shard-{i}", daemon=True)
+            for i, shard in enumerate(self._shards)]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, shard) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            # claim each future; drop requests the client cancelled while
+            # they sat in the queue (a cancelled future rejects set_result)
+            batch = [request for request in batch
+                     if request.future.set_running_or_notify_cancel()]
+            if not batch:
+                continue
+            try:
+                stacked = np.stack([request.payload for request in batch])
+                out = shard.execute_batch(stacked)
+                for row, request in zip(out, batch):
+                    result = np.array(row, copy=True)
+                    if self.result_cache is not None and request.cache_key:
+                        result.flags.writeable = False
+                        self.result_cache.put(request.cache_key, result)
+                    request.future.set_result(result)
+            except ShardDied as error:
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+                self._retire_worker(error)
+                return
+            except Exception as error:   # noqa: BLE001 — fail the whole batch
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(error)
+
+    def _retire_worker(self, error: Exception) -> None:
+        """Take a dead shard's worker out of rotation; keep the rest serving.
+
+        The dead shard stops pulling batches (so it can no longer poison the
+        shared queue); surviving shards keep draining it.  When the last
+        shard dies the server closes itself and fails every queued request
+        with :class:`ShardDied` instead of letting callers hang.
+        """
+        with self._retire_lock:
+            self._live_workers -= 1
+            last_one = self._live_workers == 0
+        if not last_one:
+            return
+        self._closed = True
+        self.batcher.close()
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(ShardDied(
+                        f"all shards died; last error: {error}"))
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of worker shards in the pool."""
+        return len(self._shards)
+
+    def submit(self, sample: np.ndarray,
+               timeout: Optional[float] = None) -> Future:
+        """Queue one sample; the future resolves to its output row.
+
+        The sample is cast to the plan dtype and copied into the queue, so
+        the caller's array can be reused immediately.  Blocks while the
+        bounded queue is full (``timeout`` seconds at most —
+        :class:`TimeoutError` after that); raises :class:`ServerClosed` on a
+        closed server.  With result caching enabled, a digest hit resolves
+        the future immediately with a read-only cached row.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        payload = np.array(sample, dtype=self.plan.np_dtype, copy=True)
+        future: Future = Future()
+        cache_key = None
+        if self.result_cache is not None:
+            cache_key = _digest(payload)
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                future.set_result(cached)
+                return future
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+        request = Request(seq=seq, payload=payload, future=future,
+                          cache_key=cache_key)
+        try:
+            self.batcher.put(request, timeout=timeout)
+        except SchedulerClosed as error:
+            raise ServerClosed("server is closed") from error
+        return future
+
+    def submit_many(self, samples: Iterable[np.ndarray],
+                    timeout: Optional[float] = None) -> List[Future]:
+        """Queue each sample of an iterable; futures come back in input order."""
+        return [self.submit(sample, timeout=timeout) for sample in samples]
+
+    def predict(self, batch: np.ndarray,
+                timeout: Optional[float] = None) -> np.ndarray:
+        """Batch-in / batch-out convenience: submit rows, gather, stack.
+
+        Row ``i`` of the result is the output for row ``i`` of ``batch`` —
+        the futures preserve per-request order no matter how the scheduler
+        batched them or which shard ran them.
+        """
+        batch = np.asarray(batch)
+        if batch.shape[0] == 0:
+            return empty_batch_result(self.plan, batch)
+        futures = self.submit_many(batch, timeout=timeout)
+        return np.stack([future.result(timeout=timeout) for future in futures])
+
+    # ------------------------------------------------------------------ #
+    # stats / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats_report(self) -> dict:
+        """Roll the per-shard stats and scheduler counters into one report.
+
+        ``total`` merges every shard's :class:`RunnerStats`; ``shards`` keeps
+        the per-shard breakdown (useful for spotting load imbalance);
+        ``scheduler`` describes batch shaping and queue depth; ``cache``
+        appears when result caching is enabled.
+        """
+        snapshots = [shard.stats_snapshot() for shard in self._shards]
+        total = RunnerStats()
+        for snapshot in snapshots:
+            total.merge(snapshot)
+        report = {
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "scheduler": self.batcher.stats.to_dict(),
+            "shards": [snapshot.to_dict() for snapshot in snapshots],
+            "total": total.to_dict(),
+        }
+        if self.result_cache is not None:
+            report["cache"] = self.result_cache.to_dict()
+        return report
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain queued requests, stop the workers, release the shards.
+
+        By default this blocks until every accepted request has been served
+        (the no-drop contract).  With ``timeout`` (seconds for the whole
+        drain), a :class:`TimeoutError` is raised if workers are still
+        draining when it expires — the server stays closed to new submits,
+        in-flight work keeps running, and the shards are **not** torn down
+        underneath it; call :meth:`close` again to finish the drain.
+        """
+        self._closed = True
+        self.batcher.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self._workers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            worker.join(timeout=remaining)
+        still_draining = sum(worker.is_alive() for worker in self._workers)
+        if still_draining:
+            raise TimeoutError(
+                f"close({timeout=}) expired with {still_draining} worker(s) "
+                "still draining; shards left running — call close() again "
+                "to finish")
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

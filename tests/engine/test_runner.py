@@ -74,10 +74,21 @@ class TestMicroBatching:
         with pytest.raises(ValueError):
             engine.InferenceRunner(plan, batch_size=0)
 
-    def test_empty_predict_raises(self, plan_and_data):
+    def test_empty_predict_returns_typed_empty(self, plan_and_data):
+        """Regression: an empty iterable yields an empty array of the plan's
+        output shape and dtype, not an error from the staging loop."""
         _, plan, x = plan_and_data
-        with pytest.raises(ValueError):
-            engine.InferenceRunner(plan).predict(x[:0])
+        runner = engine.InferenceRunner(plan)
+        out = runner.predict(x[:0])
+        assert out.shape == (0, 4)
+        assert out.dtype == plan.np_dtype
+        assert runner.stats.samples == 0 and runner.stats.batches == 0
+
+    def test_empty_predict_without_sample_axes_raises(self, plan_and_data):
+        """A bare (0,) array carries no geometry — that stays a loud error."""
+        _, plan, _ = plan_and_data
+        with pytest.raises(ValueError, match="sample axes"):
+            engine.InferenceRunner(plan).predict(np.empty((0,)))
 
     def test_shape_change_mid_batch_raises(self, plan_and_data):
         """A shape change with samples already staged must fail loudly, not
@@ -117,6 +128,57 @@ class TestStats:
         assert runner.stats.samples == 0
         assert runner.stats.throughput == 0.0
         assert not runner.stats.layer_seconds
+
+    def test_empty_stream_leaves_stats_zeroed(self, plan_and_data):
+        """Edge case: an empty stream is a no-op for every counter."""
+        _, plan, _ = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        assert list(runner.run(iter([]))) == []
+        stats = runner.stats
+        assert stats.samples == 0 and stats.batches == 0
+        assert stats.seconds == 0.0 and stats.throughput == 0.0
+        assert not stats.layer_seconds and not stats.layer_calls
+        assert stats.per_layer() == []
+        assert stats.to_dict()["per_layer"] == []
+
+    def test_single_sample_stream(self, plan_and_data):
+        """Edge case: one sample = one partial batch, one row out."""
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        rows = list(runner.run(iter(x[:1])))
+        assert len(rows) == 1
+        np.testing.assert_array_equal(rows[0], plan.execute(x[:1])[0])
+        assert runner.stats.samples == 1 and runner.stats.batches == 1
+        assert runner.stats.throughput > 0
+
+    def test_reset_between_runs_isolates_counters(self, plan_and_data):
+        """Edge case: without reset stats accumulate across run() calls;
+        with reset the second run's counters stand alone."""
+        _, plan, x = plan_and_data
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        list(runner.run(iter(x[:6])))
+        assert runner.stats.samples == 6
+        list(runner.run(iter(x[6:])))       # no reset: accumulates
+        assert runner.stats.samples == x.shape[0]
+        runner.stats.reset()
+        list(runner.run(iter(x[:3])))       # after reset: fresh counters
+        assert runner.stats.samples == 3 and runner.stats.batches == 1
+        calls = set(runner.stats.layer_calls.values())
+        assert calls == {1}
+
+    def test_plan_executor_is_the_shared_core(self, plan_and_data):
+        """PlanExecutor.execute_batch is the same path the runner flushes
+        through: direct use gives identical outputs and equivalent stats."""
+        _, plan, x = plan_and_data
+        executor = engine.PlanExecutor(plan)
+        direct = executor.execute_batch(np.asarray(x[:4], dtype=plan.np_dtype))
+        runner = engine.InferenceRunner(plan, batch_size=4)
+        np.testing.assert_array_equal(np.array(direct, copy=True),
+                                      runner.predict(x[:4]))
+        assert executor.stats.samples == 4 and executor.stats.batches == 1
+        assert runner.executor.stats.samples == 4
+        assert set(executor.stats.layer_calls) == \
+            set(runner.stats.layer_calls)
 
     def test_float32_plan_runs(self, plan_and_data, tmp_path):
         """The runner serves half-width artifacts end to end (save/load/run)."""

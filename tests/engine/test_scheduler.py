@@ -1,0 +1,199 @@
+"""Property-based tests of the dynamic batching scheduler (seeded, no deps).
+
+The :class:`~repro.engine.scheduler.DynamicBatcher` is plain plumbing, so it
+is tested the way plumbing should be: random request streams (sizes, arrival
+patterns, knob settings drawn from a seeded RNG) against the invariants that
+must hold for *every* draw —
+
+* FIFO: requests leave in submission order;
+* conservation: nothing is dropped, nothing duplicated;
+* bounds: every formed batch has ``1 <= size <= max_batch``;
+* drain: after ``close()`` the queue empties through final batches.
+
+The server-level counterparts (shard outputs equal to the single-runner
+outputs under random schedules) live in ``test_server.py``.
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.engine.scheduler import (DynamicBatcher, Request, SchedulerClosed,
+                                    SchedulerStats)
+
+
+def _request(seq):
+    return Request(seq=seq, payload=np.array([float(seq)]), future=Future())
+
+
+def _drain(batcher):
+    """Consume until the batcher reports drained; return the batches."""
+    batches = []
+    while True:
+        batch = batcher.next_batch()
+        if batch is None:
+            return batches
+        batches.append(batch)
+
+
+class TestValidation:
+    def test_bad_knobs_raise(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch=8, queue_size=4)
+
+    def test_put_after_close_raises(self):
+        batcher = DynamicBatcher()
+        batcher.close()
+        with pytest.raises(SchedulerClosed):
+            batcher.put(_request(0))
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_streams_preserve_invariants(self, seed):
+        """Random (max_batch, queue_size, burst pattern) draws: FIFO,
+        conservation, and the batch-size bound all hold."""
+        rng = np.random.default_rng(seed)
+        max_batch = int(rng.integers(1, 9))
+        queue_size = int(max_batch * rng.integers(1, 5))
+        n_requests = int(rng.integers(1, 60))
+        batcher = DynamicBatcher(max_batch=max_batch, max_wait_ms=0.0,
+                                 queue_size=queue_size)
+
+        dispatched = []
+        consumer = threading.Thread(
+            target=lambda: dispatched.extend(_drain(batcher)), daemon=True)
+        consumer.start()
+
+        seq = 0
+        while seq < n_requests:
+            burst = int(rng.integers(1, max(2, queue_size)))
+            for _ in range(min(burst, n_requests - seq)):
+                batcher.put(_request(seq), timeout=5.0)
+                seq += 1
+            if rng.random() < 0.3:
+                time.sleep(float(rng.random()) * 1e-3)   # arrival jitter
+        batcher.close()
+        consumer.join(timeout=10.0)
+        assert not consumer.is_alive()
+
+        sizes = [len(batch) for batch in dispatched]
+        assert all(1 <= size <= max_batch for size in sizes)
+        order = [request.seq for batch in dispatched for request in batch]
+        assert order == list(range(n_requests))     # FIFO + conservation
+        stats = batcher.stats
+        assert stats.requests == n_requests
+        assert stats.batched_samples == n_requests
+        assert stats.batches == len(dispatched)
+        assert stats.max_batch_seen == (max(sizes) if sizes else 0)
+        assert stats.queue_high_water <= queue_size
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_concurrent_consumers_conserve_requests(self, seed):
+        """With several consumers racing, every request is dispatched exactly
+        once and each individual batch is still FIFO-contiguous."""
+        rng = np.random.default_rng(100 + seed)
+        max_batch = int(rng.integers(2, 6))
+        n_requests = int(rng.integers(20, 80))
+        batcher = DynamicBatcher(max_batch=max_batch, max_wait_ms=0.5,
+                                 queue_size=max_batch * 4)
+        collected = []
+        lock = threading.Lock()
+
+        def consume():
+            for batch in iter(batcher.next_batch, None):
+                with lock:
+                    collected.append([request.seq for request in batch])
+
+        consumers = [threading.Thread(target=consume, daemon=True)
+                     for _ in range(3)]
+        for consumer in consumers:
+            consumer.start()
+        for seq in range(n_requests):
+            batcher.put(_request(seq), timeout=5.0)
+        batcher.close()
+        for consumer in consumers:
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive()
+
+        assert sorted(seq for batch in collected for seq in batch) == \
+            list(range(n_requests))                  # exactly-once dispatch
+        for batch in collected:
+            assert len(batch) <= max_batch
+            assert batch == list(range(batch[0], batch[0] + len(batch)))
+
+
+class TestTriggers:
+    def test_full_batch_leaves_without_waiting(self):
+        batcher = DynamicBatcher(max_batch=4, max_wait_ms=10_000.0,
+                                 queue_size=16)
+        for seq in range(4):
+            batcher.put(_request(seq))
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        assert len(batch) == 4
+        assert time.monotonic() - start < 1.0        # size trigger, not wait
+        assert batcher.stats.timeout_flushes == 0
+
+    def test_partial_batch_flushes_on_deadline(self):
+        batcher = DynamicBatcher(max_batch=64, max_wait_ms=20.0,
+                                 queue_size=128)
+        for seq in range(3):
+            batcher.put(_request(seq))
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - start
+        assert [request.seq for request in batch] == [0, 1, 2]
+        assert elapsed < 5.0                          # bounded by max_wait
+        assert batcher.stats.timeout_flushes == 1
+
+    def test_close_flushes_partial_batch(self):
+        batcher = DynamicBatcher(max_batch=64, max_wait_ms=10_000.0,
+                                 queue_size=128)
+        batcher.put(_request(0))
+        batcher.close()
+        batch = batcher.next_batch()
+        assert [request.seq for request in batch] == [0]
+        assert batcher.next_batch() is None
+
+
+class TestBackpressure:
+    def test_put_times_out_when_full(self):
+        batcher = DynamicBatcher(max_batch=2, max_wait_ms=1.0, queue_size=2)
+        batcher.put(_request(0))
+        batcher.put(_request(1))
+        with pytest.raises(TimeoutError):
+            batcher.put(_request(2), timeout=0.05)
+        assert batcher.pending == 2
+
+    def test_put_unblocks_when_consumer_drains(self):
+        batcher = DynamicBatcher(max_batch=2, max_wait_ms=1.0, queue_size=2)
+        batcher.put(_request(0))
+        batcher.put(_request(1))
+        released = threading.Event()
+
+        def slow_consumer():
+            time.sleep(0.02)
+            batcher.next_batch()
+            released.set()
+
+        threading.Thread(target=slow_consumer, daemon=True).start()
+        batcher.put(_request(2), timeout=5.0)         # blocks, then succeeds
+        assert released.is_set()
+
+
+def test_stats_to_dict_roundtrip():
+    stats = SchedulerStats(requests=10, batches=4, batched_samples=10,
+                           max_batch_seen=4, timeout_flushes=1,
+                           queue_high_water=6)
+    payload = stats.to_dict()
+    assert payload["mean_batch"] == 2.5
+    assert payload["requests"] == 10
+    assert SchedulerStats().to_dict()["mean_batch"] == 0.0

@@ -1,0 +1,340 @@
+"""Concurrent plan server: parity with the single-runner path, caches, stats.
+
+Two kinds of plans are used here:
+
+* a *toy* plan (pure arithmetic, records batch sizes) for fast structural
+  properties — ordering, backpressure, error propagation;
+* a real TinyCNN :class:`~repro.engine.model_plan.ModelPlan` for the
+  numerical contract: server outputs must be **bit-identical** to the
+  single-:class:`~repro.engine.runner.InferenceRunner` outputs, for every
+  random schedule the property tests draw.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.cim import CIMConfig, QuantScheme
+from repro.models import TinyCNN
+from repro.nn import Tensor
+from repro.nn.tensor import no_grad
+
+
+class ToyPlan:
+    """Minimal executor: ``2x + 1`` with recorded batch sizes and a delay knob."""
+
+    np_dtype = np.dtype(np.float64)
+
+    def __init__(self, delay: float = 0.0):
+        self.batch_sizes = []
+        self.delay = delay
+
+    def execute(self, x, timings=None, workspace=None):
+        self.batch_sizes.append(int(np.asarray(x).shape[0]))
+        if self.delay:
+            time.sleep(self.delay)
+        return np.asarray(x) * 2.0 + 1.0
+
+
+class FailingPlan(ToyPlan):
+    def execute(self, x, timings=None, workspace=None):
+        raise RuntimeError("boom")
+
+
+@pytest.fixture(scope="module")
+def model_plan_and_data():
+    rng = np.random.default_rng(5)
+    model = TinyCNN(num_classes=4, width=6,
+                    scheme=QuantScheme(weight_bits=3, act_bits=3, psum_bits=3),
+                    cim_config=CIMConfig(array_rows=32, array_cols=32,
+                                         cell_bits=1, adc_bits=3),
+                    seed=2)
+    x = np.abs(rng.normal(size=(24, 3, 8, 8)))
+    with no_grad():
+        model(Tensor(x))
+    model.eval()
+    plan = engine.compile_model_plan(model, calibrate=x)
+    return plan, x
+
+
+class TestOrderingAndParity:
+    def test_futures_resolve_in_request_order(self):
+        """Per-request ordering survives multi-shard execution with jittered
+        completion times: future i always carries the row for input i."""
+        plan = ToyPlan(delay=0.002)
+        samples = [np.array([float(i), -float(i)]) for i in range(40)]
+        with engine.PlanServer(plan, n_shards=3, max_batch=4,
+                               max_wait_ms=1.0) as server:
+            futures = server.submit_many(samples)
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(future.result(timeout=10.0),
+                                              samples[i] * 2.0 + 1.0)
+        assert all(size <= 4 for size in plan.batch_sizes)
+        assert sum(plan.batch_sizes) == len(samples)     # nothing dropped
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_schedules_match_single_runner(self, model_plan_and_data,
+                                                  seed):
+        """Property: for random shard counts, batching knobs and submission
+        patterns, server outputs are bit-identical to a single runner."""
+        plan, x = model_plan_and_data
+        rng = np.random.default_rng(200 + seed)
+        reference = engine.InferenceRunner(
+            plan, batch_size=int(rng.integers(1, 9))).predict(x)
+        server = engine.PlanServer(
+            plan,
+            n_shards=int(rng.integers(1, 4)),
+            max_batch=int(rng.integers(1, 9)),
+            max_wait_ms=float(rng.choice([0.0, 0.5, 2.0])),
+            result_cache_entries=int(rng.choice([0, 64])))
+        try:
+            futures = []
+            start = 0
+            while start < x.shape[0]:                   # random-size bursts
+                stop = start + int(rng.integers(1, 7))
+                futures.extend(server.submit_many(x[start:stop]))
+                start = stop
+                if rng.random() < 0.5:
+                    time.sleep(float(rng.random()) * 2e-3)
+            out = np.stack([future.result(timeout=10.0) for future in futures])
+        finally:
+            server.close()
+        np.testing.assert_array_equal(out, reference)
+
+    def test_process_backend_matches_thread_backend(self, model_plan_and_data):
+        plan, x = model_plan_and_data
+        reference = plan.execute(x[:8])
+        with engine.PlanServer(plan, n_shards=2, backend="process",
+                               max_batch=4) as server:
+            np.testing.assert_array_equal(server.predict(x[:8]), reference)
+            report = server.stats_report()
+        assert report["backend"] == "process"
+        assert report["total"]["samples"] == 8
+
+    def test_predict_empty_batch(self, model_plan_and_data):
+        plan, x = model_plan_and_data
+        with engine.PlanServer(plan, n_shards=1) as server:
+            out = server.predict(x[:0])
+        assert out.shape == (0, 4)
+        assert out.dtype == plan.np_dtype
+
+
+class TestResultCache:
+    def test_repeated_requests_hit_cache(self):
+        plan = ToyPlan()
+        with engine.PlanServer(plan, n_shards=1, max_batch=4, max_wait_ms=0.0,
+                               result_cache_entries=32) as server:
+            sample = np.array([3.0, 4.0])
+            first = server.submit(sample).result(timeout=10.0)
+            executed = sum(plan.batch_sizes)
+            second = server.submit(sample).result(timeout=10.0)
+            assert sum(plan.batch_sizes) == executed     # no re-execution
+            np.testing.assert_array_equal(first, second)
+            assert server.result_cache.hits == 1
+            assert not second.flags.writeable            # cached rows read-only
+
+    def test_cache_distinguishes_contents_and_dtype_shape(self):
+        plan = ToyPlan()
+        with engine.PlanServer(plan, n_shards=1, max_wait_ms=0.0,
+                               result_cache_entries=32) as server:
+            a = server.submit(np.array([1.0, 2.0])).result(timeout=10.0)
+            b = server.submit(np.array([2.0, 1.0])).result(timeout=10.0)
+            assert server.result_cache.hits == 0
+            np.testing.assert_array_equal(a, np.array([3.0, 5.0]))
+            np.testing.assert_array_equal(b, np.array([5.0, 3.0]))
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = engine.LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.to_dict() == {"entries": 0, "max_entries": 4,
+                                   "hits": 0, "misses": 0}
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = engine.LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None       # evicted
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            engine.LRUCache(max_entries=0)
+
+
+class TestPlanCache:
+    def test_hot_reload_shares_and_rewrite_invalidates(self, model_plan_and_data,
+                                                       tmp_path):
+        plan, x = model_plan_and_data
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(plan, path)
+        engine.clear_plan_cache()
+        first = engine.load_plan_cached(path)
+        assert engine.load_plan_cached(path) is first    # hot reload: cached
+        time.sleep(0.01)                                 # ensure mtime moves
+        engine.save_model_plan(plan, path)
+        reloaded = engine.load_plan_cached(path)
+        assert reloaded is not first                     # rewrite: fresh parse
+        np.testing.assert_array_equal(reloaded.execute(x[:2]),
+                                      first.execute(x[:2]))
+
+    def test_server_accepts_artifact_path(self, model_plan_and_data, tmp_path):
+        plan, x = model_plan_and_data
+        path = tmp_path / "plan.npz"
+        engine.save_model_plan(plan, path)
+        with engine.PlanServer(path, n_shards=1) as server:
+            np.testing.assert_array_equal(server.predict(x[:3]),
+                                          plan.execute(x[:3]))
+
+
+class TestLifecycleAndFailure:
+    def test_close_drains_queued_requests(self):
+        plan = ToyPlan(delay=0.005)
+        server = engine.PlanServer(plan, n_shards=1, max_batch=2,
+                                   max_wait_ms=50.0)
+        futures = server.submit_many([np.array([float(i)]) for i in range(9)])
+        server.close()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(timeout=10.0),
+                                          np.array([2.0 * i + 1.0]))
+
+    def test_cancelled_future_does_not_poison_its_batch(self):
+        """Regression: cancelling one queued request must not corrupt the
+        results of the other requests batched with it."""
+        plan = ToyPlan(delay=0.2)
+        with engine.PlanServer(plan, n_shards=1, max_batch=4,
+                               max_wait_ms=0.0) as server:
+            blocker = server.submit(np.array([99.0]))
+            while server.batcher.pending:               # until the shard is
+                time.sleep(0.001)                       # busy with `blocker`
+            futures = [server.submit(np.array([float(i)])) for i in range(3)]
+            assert futures[1].cancel()                  # still queued: cancels
+            blocker.result(timeout=10.0)
+            for i in (0, 2):
+                np.testing.assert_array_equal(futures[i].result(timeout=10.0),
+                                              np.array([2.0 * i + 1.0]))
+            assert futures[1].cancelled()
+
+    def test_close_timeout_raises_and_second_close_finishes(self):
+        """A bounded close that expires mid-drain reports it loudly, keeps
+        the shards alive, and a follow-up close completes the drain."""
+        plan = ToyPlan(delay=0.05)
+        server = engine.PlanServer(plan, n_shards=1, max_batch=1,
+                                   max_wait_ms=0.0)
+        futures = server.submit_many([np.array([float(i)]) for i in range(6)])
+        with pytest.raises(TimeoutError, match="still draining"):
+            server.close(timeout=0.01)
+        server.close()                                  # finish the drain
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(timeout=10.0),
+                                          np.array([2.0 * i + 1.0]))
+
+    def test_predict_empty_without_sample_axes_raises(self):
+        with engine.PlanServer(ToyPlan(), n_shards=1) as server:
+            with pytest.raises(ValueError, match="sample axes"):
+                server.predict(np.empty((0,)))
+
+    def test_submit_after_close_raises(self):
+        server = engine.PlanServer(ToyPlan(), n_shards=1)
+        server.close()
+        with pytest.raises(engine.ServerClosed):
+            server.submit(np.array([1.0]))
+        server.close()                      # idempotent
+
+    def test_backpressure_timeout_raises(self):
+        plan = ToyPlan(delay=0.2)
+        with engine.PlanServer(plan, n_shards=1, max_batch=1, max_wait_ms=0.0,
+                               queue_size=1) as server:
+            futures = [server.submit(np.array([1.0]))]
+            with pytest.raises(TimeoutError):
+                for i in range(20):         # the queue must jam well before 20
+                    futures.append(server.submit(np.array([float(i)]),
+                                                 timeout=0.01))
+            for future in futures:          # jammed, but nothing was dropped
+                future.result(timeout=10.0)
+
+    def test_execution_error_propagates_to_futures(self):
+        with engine.PlanServer(FailingPlan(), n_shards=1,
+                               max_wait_ms=0.0) as server:
+            future = server.submit(np.array([1.0]))
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=10.0)
+
+    def test_dead_process_shard_is_retired_survivor_keeps_serving(self):
+        """Regression: a killed shard process must not keep claiming batches
+        and failing them forever — it retires, the live shard serves on."""
+        with engine.PlanServer(ToyPlan(), n_shards=2, backend="process",
+                               max_batch=1, max_wait_ms=0.0) as server:
+            server._shards[0]._proc.kill()
+            server._shards[0]._proc.join()
+            failures = 0
+            for i in range(6):              # sequential: retire happens early
+                try:
+                    out = server.submit(np.array([float(i)])).result(timeout=10.0)
+                    np.testing.assert_array_equal(out,
+                                                  np.array([2.0 * i + 1.0]))
+                except engine.ShardDied:
+                    failures += 1
+            assert failures <= 1            # only the batch caught mid-death
+            out = server.submit(np.array([7.0])).result(timeout=10.0)
+            np.testing.assert_array_equal(out, np.array([15.0]))
+
+    def test_last_dead_shard_fails_queue_instead_of_hanging(self):
+        server = engine.PlanServer(ToyPlan(), n_shards=1, backend="process",
+                                   max_batch=1, max_wait_ms=0.0)
+        try:
+            server._shards[0]._proc.kill()
+            server._shards[0]._proc.join()
+            futures = [server.submit(np.array([float(i)])) for i in range(4)]
+        except engine.ServerClosed:
+            futures = []                    # self-closed before all submits
+        for future in futures:
+            with pytest.raises(engine.ShardDied):
+                future.result(timeout=10.0)
+        with pytest.raises(engine.ServerClosed):
+            for _ in range(50):             # self-close may race the submit
+                server.submit(np.array([0.0]))
+                time.sleep(0.01)
+        server.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            engine.PlanServer(ToyPlan(), n_shards=0)
+        with pytest.raises(ValueError):
+            engine.PlanServer(ToyPlan(), backend="coroutine")
+
+
+class TestStatsReport:
+    def test_rollup_sums_shards_and_scheduler(self, model_plan_and_data):
+        plan, x = model_plan_and_data
+        with engine.PlanServer(plan, n_shards=2, max_batch=4,
+                               result_cache_entries=8) as server:
+            server.predict(x[:10])
+            report = server.stats_report()
+        assert report["n_shards"] == 2 and report["backend"] == "thread"
+        assert report["total"]["samples"] == 10
+        assert sum(shard["samples"] for shard in report["shards"]) == 10
+        assert report["scheduler"]["requests"] == 10
+        assert report["scheduler"]["batches"] >= 3
+        assert report["cache"]["misses"] == 10
+        per_layer = report["total"]["per_layer"]
+        assert per_layer and any("fc" in row["name"] for row in per_layer)
+
+    def test_runner_stats_merge(self):
+        a = engine.RunnerStats(samples=4, batches=2, seconds=1.0,
+                               layer_seconds={"conv": 0.5},
+                               layer_calls={"conv": 2})
+        b = engine.RunnerStats(samples=6, batches=3, seconds=2.0,
+                               layer_seconds={"conv": 0.25, "fc": 0.75},
+                               layer_calls={"conv": 3, "fc": 3})
+        a.merge(b)
+        assert a.samples == 10 and a.batches == 5 and a.seconds == 3.0
+        assert a.layer_seconds == {"conv": 0.75, "fc": 0.75}
+        assert a.layer_calls == {"conv": 5, "fc": 3}

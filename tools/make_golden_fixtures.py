@@ -1,0 +1,124 @@
+"""Generate the golden-artifact regression fixtures of ``tests/engine/``.
+
+Each fixture is one compressed ``.npz`` under ``tests/engine/fixtures/``
+with three entries:
+
+* ``artifact`` — the raw bytes (``uint8``) of a saved engine artifact
+  (``save_plan`` for the layer cases, ``save_model_plan`` for the model
+  case), exactly as they would sit on disk;
+* ``input``   — a small float64 activation batch;
+* ``golden``  — the artifact's output on that batch, recorded at fixture
+  generation time.
+
+``tests/engine/test_golden.py`` reloads each artifact through
+``engine.load_plan`` and asserts **bit-exact** equality against ``golden``,
+which pins two contracts at once across future PRs: the on-disk artifact
+format stays loadable, and the execution math stays numerically identical.
+
+The three cases cover the artifact surface: a quantized-psum ``ConvPlan``, a
+``LinearPlan``, and a whole-model ``ModelPlan`` of a reduced ResNet-8
+(residual adds, folded BatchNorm, pooling — every graph op kind).
+
+Everything is seeded; rerun ``python tools/make_golden_fixtures.py`` only
+when the artifact format version changes **intentionally** (bump the plan
+format/version, regenerate, and say so in the PR — a diff in these files is
+an artifact-format break, not noise).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro import engine                                   # noqa: E402
+from repro.cim import CIMConfig, QuantScheme               # noqa: E402
+from repro.core import CIMConv2d, CIMLinear                # noqa: E402
+from repro.models import resnet8                           # noqa: E402
+from repro.nn import Tensor                                # noqa: E402
+from repro.nn.tensor import no_grad                        # noqa: E402
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, "tests", "engine", "fixtures")
+
+SCHEME = QuantScheme(weight_bits=3, act_bits=3, psum_bits=3,
+                     weight_granularity="column", psum_granularity="column")
+CIM = CIMConfig(array_rows=32, array_cols=32, cell_bits=1, adc_bits=3)
+
+
+def _artifact_bytes(save, obj) -> np.ndarray:
+    """Serialized artifact as a ``uint8`` array (via an in-memory buffer)."""
+    buffer = io.BytesIO()
+    save(obj, buffer)
+    return np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+
+
+def make_conv():
+    """Quantized-psum ConvPlan of one calibrated CIMConv2d."""
+    rng = np.random.default_rng(11)
+    layer = CIMConv2d(3, 4, 3, stride=1, padding=1, bias=True,
+                      scheme=SCHEME, cim_config=CIM,
+                      rng=np.random.default_rng(0))
+    calib = np.abs(rng.normal(size=(4, 3, 8, 8)))
+    with no_grad():
+        layer.eval()
+        layer(Tensor(calib))                 # initialize the LSQ scales
+    plan = engine.compile_conv_plan(layer)
+    x = np.abs(rng.normal(size=(3, 3, 8, 8)))
+    return _artifact_bytes(engine.save_plan, plan), x, plan.execute(x)
+
+
+def make_linear():
+    """LinearPlan of one calibrated CIMLinear."""
+    rng = np.random.default_rng(13)
+    layer = CIMLinear(24, 5, bias=True, scheme=SCHEME, cim_config=CIM,
+                      rng=np.random.default_rng(1))
+    calib = np.abs(rng.normal(size=(6, 24)))
+    with no_grad():
+        layer.eval()
+        layer(Tensor(calib))
+    plan = engine.compile_linear_plan(layer)
+    x = np.abs(rng.normal(size=(4, 24)))
+    return _artifact_bytes(engine.save_plan, plan), x, plan.execute(x)
+
+
+def make_resnet_tiny():
+    """ModelPlan of a width-0.25 ResNet-8 (all graph op kinds)."""
+    rng = np.random.default_rng(17)
+    model = resnet8(num_classes=4, scheme=SCHEME, cim_config=CIM,
+                    width_multiplier=0.25, seed=3)
+    calib = np.abs(rng.normal(size=(4, 3, 8, 8)))
+    with no_grad():
+        model(Tensor(calib))                 # move BN stats off their init
+    model.eval()
+    plan = engine.compile_model_plan(model, calibrate=calib)
+    x = np.abs(rng.normal(size=(3, 3, 8, 8)))
+    return (_artifact_bytes(engine.save_model_plan, plan),
+            x, plan.execute(x))
+
+
+CASES = {
+    "conv": make_conv,
+    "linear": make_linear,
+    "resnet_tiny": make_resnet_tiny,
+}
+
+
+def main() -> None:
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    for name, build in CASES.items():
+        artifact, x, golden = build()
+        assert x.dtype == np.float64 and golden.dtype == np.float64
+        path = os.path.join(FIXTURE_DIR, f"{name}.npz")
+        np.savez_compressed(path, artifact=artifact, input=x, golden=golden)
+        print(f"{path}: artifact={artifact.nbytes // 1024}KiB "
+              f"input={x.shape} golden={golden.shape}")
+
+
+if __name__ == "__main__":
+    main()
