@@ -3,13 +3,18 @@
 #   make verify       - the one-command gate: tier-1 tests + docs-check + bench-smoke
 #   make test         - tier-1 test suite (unit + property + integration)
 #   make test-engine  - just the frozen-engine suite
-#   make coverage     - engine line coverage gate (pytest + tools/run_coverage.py,
+#   make test-int     - the integer-route differential suites (fast iteration
+#                       on the requant pipeline: property tests, fuzz
+#                       differentials, golden int fixtures)
+#   make coverage     - line coverage gate over the engine plus the requant
+#                       pipeline modules (pytest + tools/run_coverage.py,
 #                       fails under 85%; uses the coverage package when present,
 #                       a stdlib settrace fallback otherwise)
 #   make bench-smoke  - fast smoke pass over the benchmark harness
 #   make bench-engine - frozen-engine speedup benchmark at default scale
 #   make bench-runner - batched inference-runner throughput benchmark
 #   make bench-server - concurrent PlanServer throughput benchmark
+#   make bench-int    - integer-requantized route benchmark at default scale
 #   make docs-check   - fail on undocumented public APIs in the documented
 #                       modules + run the fenced python snippets of docs/engine.md
 #   make install      - editable install (works without the wheel package)
@@ -19,7 +24,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine coverage bench-smoke bench-engine bench-runner bench-server docs-check install
+.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -29,11 +34,14 @@ test:
 test-engine:
 	$(PYTHON) -m pytest tests/engine -q
 
+test-int:
+	$(PYTHON) -m pytest tests/core/test_requant.py tests/engine/test_int_requant.py tests/engine/test_golden.py -q
+
 coverage:
-	$(PYTHON) tools/run_coverage.py --source src/repro/engine --fail-under 85 tests/engine -q
+	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 85 tests/engine tests/core -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
@@ -44,8 +52,11 @@ bench-runner:
 bench-server:
 	$(PYTHON) benchmarks/bench_server_concurrency.py
 
+bench-int:
+	$(PYTHON) benchmarks/bench_int_requant.py
+
 docs-check:
-	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/cim/cost.py
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py
 	$(PYTHON) tools/run_doc_snippets.py docs/engine.md
 
 install:

@@ -43,6 +43,7 @@ from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.tensor import Tensor, is_grad_enabled, no_grad
 from ..quant.bitsplit import BitSplitConfig, split_signed, split_tensor_ste
+from .requant import compile_requant
 
 __all__ = [
     "LayerGeometry",
@@ -676,7 +677,13 @@ class CIMPipeline:
         )
         for stage in self.stages:
             stage.compile_into(state, self.layer, g, self.adapter)
+        # Fixed-point requant constants are derived from the float64 scales
+        # BEFORE any narrowing cast — the cast below only touches plain float
+        # arrays, so the constants ship at full precision in float32 plans.
+        # The target dtype is still passed through: the ADC verification
+        # replays the float route's rounding in the plan's execution dtype.
         dtype = np.dtype(dtype)
+        state["requant"] = compile_requant(state, dtype=dtype)
         if dtype != np.float64:
             for key, value in state.items():
                 if isinstance(value, np.ndarray) and value.dtype.kind == "f":

@@ -36,6 +36,9 @@ paths are numerically equivalent to the seed layers — see ``tests/engine/``,
 full lifecycle guide, artifact schema and serving knobs.
 """
 
+from ..core.requant import (RequantConstants, compile_requant,
+                            quantize_multiplier, quantize_multipliers,
+                            requantize)
 from .api import freeze, frozen_layers, is_frozen, thaw
 from .frozen import FrozenCIMConv2d, FrozenCIMLinear
 from .model_plan import (GraphBuilder, GraphNode, ModelPlan, ModelPlanError,
@@ -63,4 +66,6 @@ __all__ = [
     "DynamicBatcher", "Request", "SchedulerStats", "SchedulerClosed",
     "PlanServer", "ServerClosed", "ShardDied", "LRUCache",
     "load_plan_cached", "clear_plan_cache",
+    "RequantConstants", "compile_requant", "requantize",
+    "quantize_multiplier", "quantize_multipliers",
 ]

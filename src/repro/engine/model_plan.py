@@ -66,7 +66,13 @@ __all__ = [
 
 #: Manifest format marker / version of the model-plan archive schema.
 MODEL_PLAN_FORMAT = "repro-model-plan"
-MODEL_PLAN_VERSION = 1
+#: Version written by :func:`save_model_plan`.  v2 added the per-layer
+#: ``requant`` metadata + ``rq_*`` arrays of the integer execution route.
+MODEL_PLAN_VERSION = 2
+#: Versions :func:`load_model_plan` accepts.  v1 archives predate the requant
+#: constants: they load and execute in float mode, and ``set_mode("int")``
+#: raises :class:`ModelPlanError`.
+SUPPORTED_MODEL_PLAN_VERSIONS = frozenset({1, 2})
 
 
 class ModelPlanError(RuntimeError):
@@ -267,6 +273,7 @@ class ModelPlan:
     output_id: int
     dtype: str = "float64"
     name: str = ""
+    mode: str = field(default="float", repr=False)  # runtime, not serialized
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -277,6 +284,52 @@ class ModelPlan:
     def n_cim_layers(self) -> int:
         """Number of compiled CIM layer plans in the artifact."""
         return len(self.layer_plans)
+
+    # ------------------------------------------------------------------ #
+    # execution mode
+    # ------------------------------------------------------------------ #
+    def set_mode(self, mode: str) -> None:
+        """Switch every CIM layer plan between the float and integer routes.
+
+        ``"float"`` (the default for every freshly loaded plan) is the
+        bit-exact reference; ``"int"`` executes each quantized-input layer
+        through its fixed-point requant constants.  Layers without an input
+        quantizer (``act_scale is None`` — typically the first convolution)
+        have no integer input grid and stay on the float route; that is a
+        property of the model, not an artifact defect.  Raises
+        :class:`ModelPlanError` if any quantized-input layer lacks requant
+        constants (a v1 archive saved before the integer path existed).
+        """
+        if mode not in ("float", "int"):
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             "expected 'float' or 'int'")
+        if mode == "int":
+            missing = [index for index, plan in enumerate(self.layer_plans)
+                       if plan.act_scale is not None and plan.requant is None]
+            if missing:
+                raise ModelPlanError(
+                    f"layer plan(s) {missing} carry no requant constants — "
+                    "the artifact predates model-plan version 2; re-freeze "
+                    "and re-save the model to enable mode='int'")
+        for plan in self.layer_plans:
+            plan.set_mode(mode)
+        self.mode = mode
+
+    def int_drift_bound(self) -> float:
+        """Declared max-abs drift of ``mode="int"`` vs the float reference.
+
+        Sum of the per-layer :attr:`~repro.core.requant.RequantConstants.
+        drift_bound` declarations, scaled by a whole-model amplification
+        factor: a layer's output drift passes through folded BatchNorm
+        (where a small running variance divides it up) and through later
+        layers' weights before reaching the logits, so the raw sum is not a
+        bound on its own.  The factor is pinned by the differential suite on
+        the fixture models; a violation there means the integer route
+        regressed, not that the bound needs loosening.
+        """
+        per_layer = sum(plan.requant.drift_bound for plan in self.layer_plans
+                        if plan.requant is not None)
+        return 8.0 * per_layer
 
     # ------------------------------------------------------------------ #
     # execution
@@ -432,9 +485,9 @@ class ModelPlan:
         save_model_plan(self, path)
 
     @classmethod
-    def load(cls, path) -> "ModelPlan":
+    def load(cls, path, mode: str = "float") -> "ModelPlan":
         """Rebuild a :class:`ModelPlan` saved by :meth:`save`."""
-        return load_model_plan(path)
+        return load_model_plan(path, mode=mode)
 
 
 # --------------------------------------------------------------------------- #
@@ -514,12 +567,14 @@ def save_model_plan(plan: ModelPlan, path) -> None:
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8), **arrays)
 
 
-def load_model_plan(path) -> ModelPlan:
+def load_model_plan(path, mode: str = "float") -> ModelPlan:
     """Rebuild a :class:`ModelPlan` from a :func:`save_model_plan` archive.
 
     Pure data path: no QAT model, layer, or quantizer objects are
-    constructed.  Raises :class:`ModelPlanError` on a corrupted manifest,
-    an unknown format/version, or missing array entries.
+    constructed.  ``mode`` selects the execution route of the returned plan
+    (see :meth:`ModelPlan.set_mode`); ``"int"`` raises on v1 archives, which
+    carry no requant constants.  Raises :class:`ModelPlanError` on a
+    corrupted manifest, an unknown format/version, or missing array entries.
     """
     with np.load(path) as archive:
         if "__manifest__" not in archive.files:
@@ -534,10 +589,10 @@ def load_model_plan(path) -> ModelPlan:
     if not isinstance(manifest, dict) or manifest.get("format") != MODEL_PLAN_FORMAT:
         raise ModelPlanError(f"{path}: corrupted manifest: missing format tag "
                              f"{MODEL_PLAN_FORMAT!r}")
-    if manifest.get("version") != MODEL_PLAN_VERSION:
+    if manifest.get("version") not in SUPPORTED_MODEL_PLAN_VERSIONS:
         raise ModelPlanError(f"{path}: unsupported model-plan version "
-                             f"{manifest.get('version')!r} "
-                             f"(expected {MODEL_PLAN_VERSION})")
+                             f"{manifest.get('version')!r} (expected one of "
+                             f"{sorted(SUPPORTED_MODEL_PLAN_VERSIONS)})")
     try:
         layer_plans = []
         for index, meta in enumerate(manifest["layers"]):
@@ -554,26 +609,31 @@ def load_model_plan(path) -> ModelPlan:
             for key in doc.get("arrays", []):
                 node.arrays[key] = stored[f"node{node.id}.{key}"]
             nodes.append(node)
-        return ModelPlan(nodes=nodes, layer_plans=layer_plans,
+        plan = ModelPlan(nodes=nodes, layer_plans=layer_plans,
                          output_id=int(manifest["output"]),
                          dtype=normalize_dtype(manifest.get("dtype", "float64")),
                          name=manifest.get("name", ""))
     except (KeyError, IndexError, TypeError, ValueError, AttributeError) as error:
         raise ModelPlanError(f"{path}: corrupted manifest: {error}") from error
+    if mode != "float":
+        plan.set_mode(mode)
+    return plan
 
 
-def load_plan(path):
+def load_plan(path, mode: str = "float"):
     """Load any engine artifact: a :class:`ModelPlan` or a single layer plan.
 
     Dispatches on the archive contents — model plans carry a
     ``__manifest__`` entry, per-layer plans a ``__meta__`` entry — so
     deployment code needs one entry point regardless of what was saved.
+    ``mode="int"`` returns the plan switched to the integer execution route
+    (raises on float-only artifacts saved before the integer path existed).
     """
     with np.load(path) as archive:
         files = set(archive.files)
     if "__manifest__" in files:
-        return load_model_plan(path)
+        return load_model_plan(path, mode=mode)
     if "__meta__" in files:
-        return _load_layer_plan(path)
+        return _load_layer_plan(path, mode=mode)
     raise ModelPlanError(f"{path}: not an engine artifact "
                          "(expected a __manifest__ or __meta__ entry)")

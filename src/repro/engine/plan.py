@@ -50,6 +50,7 @@ import numpy as np
 
 from ..cim.tiling import WeightMapping, mapping_from_dict, mapping_to_dict
 from ..core.pipeline import varied_splits
+from ..core.requant import RequantConstants, requantize
 from ..nn import functional as F
 
 __all__ = [
@@ -134,6 +135,8 @@ class _PlanBase:
     mapping: WeightMapping
     signature: Tuple[bool, bool, bool]
     dtype: str = "float64"        # execution dtype ("float64" | "float32")
+    requant: Optional[RequantConstants] = None  # None = float-only artifact
+    mode: str = field(default="float", repr=False)  # runtime, not serialized
     # derived operands, rebuilt by _build_derived()
     row_slices: list = field(init=False, repr=False, default=None)
     w_split_mats: list = field(init=False, repr=False, default=None)
@@ -175,6 +178,47 @@ class _PlanBase:
         else:
             self.s_p_full = None
             self.m_fold = None
+        self._build_int_operands()
+
+    def _build_int_operands(self) -> None:
+        """GEMM-ready integer-route operands (no-ops for float-only plans).
+
+        The integer operands are carried in the exact-integer GEMM dtype the
+        compiler certified (``requant.gemm_dtype`` — see
+        :mod:`repro.core.requant`); the fixed-point multipliers are widened
+        to ``int64`` once so the hot loop multiplies without per-batch casts.
+        """
+        rq = self.requant
+        self._w_int_mats = self._w_split_int_mats = None
+        self._m0_fused64 = self._m0_adc64 = self._m0_out64 = None
+        self._shift_adc64 = self._half_adc64 = None
+        self._half_out = self._shift_out = None
+        self._s_out_cast = None
+        if rq is None:
+            return
+        carrier = np.dtype(rq.gemm_dtype)
+        s, _, _, oc = self.splits.shape
+        if self.psum_quant_enabled:
+            self._w_split_int_mats = [
+                np.ascontiguousarray(
+                    self.splits[:, i, :stop - start, :].transpose(1, 0, 2)
+                    .astype(carrier)).reshape(stop - start, s * oc)
+                for i, (start, stop) in enumerate(self.row_slices)]
+            # broadcast-ready (A, 1, S, OC) views so the hot loop applies
+            # every array's constants in one vectorized in-place pass
+            self._m0_adc64 = rq.m0_adc.astype(np.int64)[:, None]
+            self._shift_adc64 = rq.shift_adc.astype(np.int64)[:, None]
+            self._half_adc64 = (np.int64(1) << self._shift_adc64) >> np.int64(1)
+            self._m0_out64 = rq.m0_out.astype(np.int64)
+        else:
+            self._w_int_mats = [
+                np.ascontiguousarray(
+                    self.w_bar[i, :stop - start, :].astype(carrier))
+                for i, (start, stop) in enumerate(self.row_slices)]
+            self._m0_fused64 = rq.m0_fused.astype(np.int64)[:, None]
+        self._half_out = (np.int64(1) << np.int64(rq.shift)) >> np.int64(1)
+        self._shift_out = np.int64(rq.shift)
+        self._s_out_cast = rq.s_out.astype(self.np_dtype)
 
     # ---------------------------------------------------------------- #
     @property
@@ -191,12 +235,57 @@ class _PlanBase:
         """View/copy the activation array in the plan's execution dtype."""
         return np.asarray(x, dtype=self.np_dtype)
 
+    def set_mode(self, mode: str) -> None:
+        """Select the execution route: ``"float"`` (reference) or ``"int"``.
+
+        Runtime state, not part of the artifact — a freshly loaded plan is
+        always in float mode.  ``"int"`` requires the plan to carry
+        :class:`~repro.core.requant.RequantConstants` (artifacts saved before
+        the integer path exist but are float-only) and is accepted — as a
+        recorded no-op — on raw-input plans (``act_scale is None``): without
+        an input quantizer there is no integer grid to execute on, so such
+        layers legitimately stay on the float route in integer mode.
+        """
+        if mode not in ("float", "int"):
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             "expected 'float' or 'int'")
+        if mode == "int" and self.requant is None and self.act_scale is not None:
+            raise ValueError(
+                "this plan carries no requant constants (the artifact "
+                "predates the integer execution path); recompile the layer "
+                "or re-save the artifact to enable mode='int'")
+        self.mode = mode
+
+    def _int_route(self, variation) -> bool:
+        """True when this call executes on the integer route."""
+        if self.mode != "int" or self.requant is None:
+            return False
+        if variation is not None:
+            raise ValueError(
+                "device variation perturbs the programmed cells with float "
+                "noise and has no fixed-point equivalent; run variation "
+                "studies in mode='float'")
+        return True
+
     def _quantize_acts(self, x: np.ndarray) -> np.ndarray:
         """LSQ activation quantization: ``round(clamp(x / s_a))`` codes."""
         if self.act_scale is None:
             return x
         a = np.clip(x / self.act_scale, self.act_qmin, self.act_qmax)
         return np.round(a, out=a)
+
+    def _quantize_acts_carrier(self, x: np.ndarray) -> np.ndarray:
+        """Activation codes cast onto the integer route's GEMM carrier.
+
+        The divide/clamp/round runs in the plan dtype — bit-identical codes
+        to :meth:`_quantize_acts` — and only the final (exact, small-integer)
+        values land in the carrier, fused into the rounding pass; with a
+        ``float32`` carrier every downstream unfold and GEMM then moves half
+        the bytes.
+        """
+        a = np.clip(x / self.act_scale, self.act_qmin, self.act_qmax)
+        codes = np.empty(a.shape, dtype=np.dtype(self.requant.gemm_dtype))
+        return np.rint(a, out=codes, casting="unsafe")
 
     def _varied_splits(self, variation) -> np.ndarray:
         """Apply a device-variation model to the cached cell codes.
@@ -248,6 +337,71 @@ class _PlanBase:
             out += np.einsum("xso,so->xo", p, self.m_fold[i], optimize=True)
         return out
 
+    def _contract_int(self, cols_flat: np.ndarray) -> np.ndarray:
+        """Integer-route contraction: ``(NL, in_features)`` to ``(NL, OC)``.
+
+        Between the incoming activation codes and the final per-channel
+        output dequant (``* s_out``) every operation is integer arithmetic:
+        the GEMMs multiply integer-valued operands in the certified
+        exact-integer carrier dtype, everything downstream — ADC
+        requantization, fixed-point multipliers, the bias fold, the single
+        output rounding shift — runs in ``int64``.  The returned array is
+        the finished layer output (scale and bias already applied); callers
+        must not re-apply ``act_scale`` or ``bias``.
+        """
+        rq = self.requant
+        cols_c = cols_flat.astype(np.dtype(rq.gemm_dtype), copy=False)
+        nl = cols_flat.shape[0]
+        s, oc = self.n_splits, self.out_channels
+        n_arrays = len(self.row_slices)
+        if self.psum_quant_enabled:
+            # one GEMM per array into a shared buffer, then a single
+            # vectorized fixed-point pass over all arrays at once: the exact
+            # float-carrier partial sums cast+multiply onto int64 in one
+            # fused ufunc, then the sign-uniform half-up ADC divide of
+            # requantize_up is three in-place passes (add, shift, clip) —
+            # constants were validated and verified at build time, so the
+            # hot loop carries no per-array call or sign-handling overhead
+            p = np.empty((n_arrays, nl, s * oc), dtype=cols_c.dtype)
+            for i, (start, stop) in enumerate(self.row_slices):
+                np.matmul(cols_c[:, start:stop], self._w_split_int_mats[i],
+                          out=p[i])
+            # the fixed-point passes are memory-bound; blocking over the
+            # batch axis keeps each block cache-resident across all of them
+            qmin_i, qmax_i = int(self.psum_qmin), int(self.psum_qmax)
+            rows = max(1, (1 << 18) // max(1, n_arrays * s * oc))
+            acc = np.empty((nl, oc), dtype=np.int64)
+            buf = np.empty((n_arrays, min(rows, max(nl, 1)), s, oc),
+                           dtype=np.int64)
+            for j in range(0, nl, rows):
+                c = min(rows, nl - j)
+                b = buf[:, :c]
+                np.multiply(p[:, j:j + c].reshape(n_arrays, c, s, oc),
+                            self._m0_adc64, out=b, casting="unsafe")  # exact
+                b += self._half_adc64               # (A, 1, S, OC) bcast
+                b >>= self._shift_adc64             # arithmetic: half-up
+                np.clip(b, qmin_i, qmax_i, out=b)
+                # fused multiply-reduce: sum_{a,s} codes * m0_out -> (c, OC)
+                np.einsum("anso,aso->no", b, self._m0_out64,
+                          out=acc[j:j + c])
+        else:
+            p = np.empty((n_arrays, nl, oc), dtype=cols_c.dtype)
+            for i, (start, stop) in enumerate(self.row_slices):
+                np.matmul(cols_c[:, start:stop], self._w_int_mats[i],
+                          out=p[i])
+            p64 = np.multiply(p, self._m0_fused64,      # (A, 1, OC) bcast
+                              dtype=np.int64, casting="unsafe")
+            acc = p64.sum(axis=0)
+        if rq.bias_q is not None:
+            acc += rq.bias_q
+        acc += self._half_out                # one half-up rounding shift for
+        acc >>= self._shift_out              # the whole layer (see requantize_up)
+        # output dequant fused with the cast: the only float multiply, at the
+        # layer boundary (codes are exact in float64; float32 plans narrow
+        # here exactly as the float route's output does)
+        return np.multiply(acc, self._s_out_cast, dtype=self.np_dtype,
+                           casting="unsafe")
+
 
 @dataclass
 class ConvPlan(_PlanBase):
@@ -271,17 +425,22 @@ class ConvPlan(_PlanBase):
         out_w = F.conv_output_size(w, kw, self.stride[1], self.padding[1])
         length = out_h * out_w
 
-        a = self._quantize_acts(x)
+        int_route = self._int_route(variation)
+        a = (self._quantize_acts_carrier(x) if int_route
+             else self._quantize_acts(x))
         cols = F.unfold_array(a, self.kernel_size, self.stride, self.padding,
                               layout="nlk")                 # (N, L, D)
         # explicit D (not -1): zero-row batches make -1 ambiguous
-        out = self._contract(cols.reshape(n * length, cols.shape[2]),
-                             variation)                     # (NL, OC)
-        if self.act_scale is not None:
-            out *= self.act_scale
+        cols_flat = cols.reshape(n * length, cols.shape[2])
+        if int_route:
+            out = self._contract_int(cols_flat)  # scale + bias already folded
+        else:
+            out = self._contract(cols_flat, variation)      # (NL, OC)
+            if self.act_scale is not None:
+                out *= self.act_scale
         out = out.reshape(n, length, self.out_channels).transpose(0, 2, 1)
         out = out.reshape(n, self.out_channels, out_h, out_w)
-        if self.bias is not None:
+        if self.bias is not None and not int_route:
             out = out + self.bias.reshape(1, -1, 1, 1)
         return out
 
@@ -300,6 +459,8 @@ class LinearPlan(_PlanBase):
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected input of shape (N, {self.in_features}), got {x.shape}")
+        if self._int_route(variation):
+            return self._contract_int(self._quantize_acts_carrier(x))
         a = self._quantize_acts(x)
         out = self._contract(a, variation)                  # (N, OC)
         if self.act_scale is not None:
@@ -413,6 +574,7 @@ def plan_meta(plan) -> dict:
         "signature": list(plan.signature),
         "dtype": plan.dtype,
         "mapping": mapping_to_dict(plan.mapping),
+        "requant": None if plan.requant is None else plan.requant.meta(),
     }
     if isinstance(plan, ConvPlan):
         meta.update(in_channels=plan.in_channels,
@@ -425,9 +587,16 @@ def plan_meta(plan) -> dict:
 
 
 def plan_arrays(plan) -> dict:
-    """The plan's array payload, keyed by field name (``None`` fields omitted)."""
-    return {name: getattr(plan, name) for name in _ARRAY_FIELDS
-            if getattr(plan, name) is not None}
+    """The plan's array payload, keyed by field name (``None`` fields omitted).
+
+    Requant constants travel as additional ``rq_*`` entries so the archive
+    stays a flat array namespace; float-only plans simply have none.
+    """
+    arrays = {name: getattr(plan, name) for name in _ARRAY_FIELDS
+              if getattr(plan, name) is not None}
+    if plan.requant is not None:
+        arrays.update(plan.requant.arrays())
+    return arrays
 
 
 def plan_from_parts(meta: dict, arrays: dict):
@@ -450,6 +619,8 @@ def plan_from_parts(meta: dict, arrays: dict):
         signature=tuple(meta["signature"]),
         dtype=normalize_dtype(meta.get("dtype", "float64")),
         mapping=mapping_from_dict(meta["mapping"]),
+        requant=(None if meta.get("requant") is None else
+                 RequantConstants.from_parts(meta["requant"], arrays)),
         **{name: arrays.get(name) for name in _ARRAY_FIELDS},
     )
     if meta["layer_type"] == "conv2d":
@@ -468,10 +639,18 @@ def save_plan(plan, path) -> None:
         **plan_arrays(plan))
 
 
-def load_plan(path):
-    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` saved by :func:`save_plan`."""
+def load_plan(path, mode: str = "float"):
+    """Rebuild a :class:`ConvPlan` / :class:`LinearPlan` saved by :func:`save_plan`.
+
+    ``mode`` selects the execution route of the returned plan (see
+    :meth:`_PlanBase.set_mode`); ``"int"`` raises :class:`ValueError` on
+    float-only artifacts saved before the integer path existed.
+    """
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
-        arrays = {name: archive[name] for name in _ARRAY_FIELDS
-                  if name in archive.files}
-    return plan_from_parts(meta, arrays)
+        arrays = {name: archive[name] for name in archive.files
+                  if name != "__meta__"}
+    plan = plan_from_parts(meta, arrays)
+    if mode != "float":
+        plan.set_mode(mode)
+    return plan

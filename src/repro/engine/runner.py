@@ -202,12 +202,21 @@ class InferenceRunner:
         When true (default), element-wise graph nodes write into
         preallocated activation buffers reused across batches.  Output rows
         handed to the caller are always copies, so reuse is invisible.
+    mode:
+        Optional execution route: ``"float"`` (bit-exact reference) or
+        ``"int"`` (fixed-point requantized).  Applied to the plan itself via
+        ``plan.set_mode`` — mode is plan state, so it also affects other
+        consumers sharing the same plan object.  ``None`` (default) leaves
+        the plan's current mode untouched.
     """
 
     def __init__(self, plan: ModelPlan, batch_size: int = 32,
-                 collect_timings: bool = True, reuse_buffers: bool = True):
+                 collect_timings: bool = True, reuse_buffers: bool = True,
+                 mode: Optional[str] = None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if mode is not None:
+            plan.set_mode(mode)
         self.executor = PlanExecutor(plan, collect_timings=collect_timings,
                                      reuse_buffers=reuse_buffers)
         self.batch_size = int(batch_size)

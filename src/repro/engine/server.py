@@ -119,21 +119,24 @@ class LRUCache:
 _PLAN_CACHE = LRUCache(max_entries=8)
 
 
-def load_plan_cached(path):
+def load_plan_cached(path, mode: str = "float"):
     """:func:`~repro.engine.model_plan.load_plan` behind a process-wide LRU.
 
-    Keyed on the absolute path *and* the file's (mtime, size) stat, so a
-    rewritten artifact is transparently reloaded while hot reloads of an
-    unchanged file cost one ``stat`` call.  Callers share the returned plan
-    object — plans are read-only at execution time, which is what makes the
-    sharing (and the server's shard pool) safe.
+    Keyed on the absolute path, the file's (mtime, size) stat **and** the
+    execution mode, so a rewritten artifact is transparently reloaded while
+    hot reloads of an unchanged file cost one ``stat`` call.  Keying on the
+    mode gives each route its own plan object: callers share the returned
+    plan, and a float-mode consumer must never observe its cached plan
+    silently flipped to the integer route (plans are otherwise read-only at
+    execution time, which is what makes the sharing — and the server's shard
+    pool — safe).
     """
     path = os.path.abspath(os.fspath(path))
     stat = os.stat(path)
-    key = (path, stat.st_mtime_ns, stat.st_size)
+    key = (path, stat.st_mtime_ns, stat.st_size, mode)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        plan = load_plan(path)
+        plan = load_plan(path, mode=mode)
         _PLAN_CACHE.put(key, plan)
     return plan
 
@@ -284,6 +287,13 @@ class PlanServer:
         requests without executing; cached rows are returned read-only.
     collect_timings:
         Forwarded to each shard's executor (per-layer timing stats).
+    mode:
+        Optional execution route served by every shard: ``"float"``
+        (bit-exact reference) or ``"int"`` (fixed-point requantized).  Plan
+        paths resolve through :func:`load_plan_cached` with the mode in the
+        cache key; an in-memory plan is switched via ``plan.set_mode`` (mode
+        is plan state, shared with other consumers of the same object).
+        ``None`` (default) serves the plan in its current mode.
 
     Use as a context manager, or call :meth:`close` — close drains queued
     requests before the workers exit, so no accepted request is dropped.
@@ -292,14 +302,16 @@ class PlanServer:
     def __init__(self, plan, n_shards: int = 2, backend: str = "thread",
                  max_batch: int = 16, max_wait_ms: float = 2.0,
                  queue_size: int = 256, result_cache_entries: int = 0,
-                 collect_timings: bool = True):
+                 collect_timings: bool = True, mode: Optional[str] = None):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}; "
                              "expected 'thread' or 'process'")
         if isinstance(plan, (str, os.PathLike)):
-            plan = load_plan_cached(plan)
+            plan = load_plan_cached(plan, mode=mode or "float")
+        elif mode is not None:
+            plan.set_mode(mode)
         self.plan = plan
         self.backend = backend
         self.batcher = DynamicBatcher(max_batch=max_batch,

@@ -171,7 +171,7 @@ class TestCompileState:
                      "pad_rows", "valid_mask", "mapping", "w_bar", "s_w",
                      "splits", "shift_factors", "w_eff_mat", "bias",
                      "act_scale", "act_qmin", "act_qmax", "psum_quant_enabled",
-                     "s_p", "psum_qmin", "psum_qmax"}
+                     "s_p", "psum_qmin", "psum_qmax", "requant"}
 
     @pytest.mark.parametrize("kind", ["conv", "linear"])
     def test_stage_list_produces_the_full_plan_state(self, rng, cfg, kind):

@@ -21,11 +21,14 @@ from repro import engine
 FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "fixtures")
 CASES = ["conv", "linear", "resnet_tiny"]
+INT_CASES = ["conv_int", "linear_int", "resnet_tiny_int"]
 EXPECTED_KINDS = {"conv": engine.ConvPlan, "linear": engine.LinearPlan,
-                  "resnet_tiny": engine.ModelPlan}
+                  "resnet_tiny": engine.ModelPlan,
+                  "conv_int": engine.ConvPlan, "linear_int": engine.LinearPlan,
+                  "resnet_tiny_int": engine.ModelPlan}
 
 
-def _load_fixture(name, tmp_path):
+def _load_fixture(name, tmp_path, mode="float"):
     """Materialize a fixture's embedded artifact to disk; return (plan, x, golden)."""
     with np.load(os.path.join(FIXTURE_DIR, f"{name}.npz")) as fixture:
         artifact = fixture["artifact"]
@@ -33,10 +36,10 @@ def _load_fixture(name, tmp_path):
         golden = fixture["golden"]
     path = tmp_path / f"{name}_artifact.npz"
     path.write_bytes(artifact.tobytes())
-    return engine.load_plan(path), x, golden
+    return engine.load_plan(path, mode=mode), x, golden
 
 
-@pytest.mark.parametrize("name", CASES)
+@pytest.mark.parametrize("name", CASES + INT_CASES)
 def test_fixture_files_exist(name):
     assert os.path.exists(os.path.join(FIXTURE_DIR, f"{name}.npz")), (
         f"missing golden fixture {name}.npz — run tools/make_golden_fixtures.py")
@@ -57,6 +60,33 @@ def test_golden_bit_exact(name, tmp_path):
                 "longer bit-identical to the frozen reference — if the "
                 "format changed intentionally, bump the artifact version and "
                 "regenerate with tools/make_golden_fixtures.py")
+
+
+@pytest.mark.parametrize("name", INT_CASES)
+def test_golden_int_route_bit_exact(name, tmp_path):
+    """The integer-requantized route is pinned bit-for-bit too: loading the
+    artifact with ``mode="int"`` must reproduce the frozen fixed-point
+    output exactly (requant constants are part of the artifact format)."""
+    plan, x, golden = _load_fixture(name, tmp_path, mode="int")
+    assert isinstance(plan, EXPECTED_KINDS[name])
+    assert plan.mode == "int"
+    out = plan.execute(x)
+    assert out.dtype == golden.dtype and out.shape == golden.shape
+    np.testing.assert_array_equal(
+        out, golden,
+        err_msg=f"golden int fixture {name!r} drifted: the integer "
+                "requantization math is no longer bit-identical to the "
+                "frozen reference")
+
+
+def test_int_fixture_artifact_also_executes_float(tmp_path):
+    """An int fixture's artifact is an ordinary v2 artifact — the default
+    (float) load must still work and produce outputs within the declared
+    drift bound of the int golden."""
+    plan, x, golden = _load_fixture("resnet_tiny_int", tmp_path)
+    assert plan.mode == "float"
+    out = plan.execute(x)
+    assert np.abs(out - golden).max() <= plan.int_drift_bound()
 
 
 def test_resnet_tiny_served_bit_exact(tmp_path):

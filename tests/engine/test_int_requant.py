@@ -1,0 +1,281 @@
+"""Differential test harness pinning the integer execution route.
+
+The float route is the bit-exact reference; the integer route must stay
+within each plan's *declared* drift bound (``requant.drift_bound``, computed
+at compile time — see :mod:`repro.core.requant`).  The fuzz matrix sweeps
+seeded random layer geometries across both layer kinds, both psum modes and
+several tile shapes; model-level tests add the end-to-end gate (max-abs
+drift + top-1 agreement), serialization pins the requant constants
+bit-exactly through the ``.npz`` round trip, and the error cases pin the
+mode-switching contract.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.cim import CIMConfig, QuantScheme, VariationModel
+from repro.core import CIMConv2d, CIMLinear
+from repro.models import resnet8
+from repro.nn import Tensor
+from repro.nn.tensor import no_grad
+
+
+def scheme(quantize_psum: bool, act_bits: int = 3,
+           psum_bits: int = 3) -> QuantScheme:
+    return QuantScheme(weight_bits=3, act_bits=act_bits, psum_bits=psum_bits,
+                       weight_granularity="column", psum_granularity="column",
+                       quantize_psum=quantize_psum)
+
+
+# (array_rows, cell_bits): one array/one split, multi-array, multi-split
+TILE_SHAPES = [(64, 1), (16, 1), (32, 2)]
+
+
+def make_layer(kind: str, quantize_psum: bool, tile, seed: int):
+    """A calibrated seeded layer plus a fresh eval batch."""
+    rows, cell_bits = tile
+    cfg = CIMConfig(array_rows=rows, array_cols=32, cell_bits=cell_bits,
+                    adc_bits=3)
+    rng = np.random.default_rng(seed)
+    if kind == "conv":
+        layer = CIMConv2d(3, 5, 3, padding=1, bias=True,
+                          scheme=scheme(quantize_psum), cim_config=cfg,
+                          rng=np.random.default_rng(seed + 1))
+        calib = np.abs(rng.normal(size=(4, 3, 7, 7)))
+        x = np.abs(rng.normal(size=(3, 3, 7, 7)))
+    else:
+        layer = CIMLinear(26, 6, bias=True, scheme=scheme(quantize_psum),
+                          cim_config=cfg, rng=np.random.default_rng(seed + 1))
+        calib = np.abs(rng.normal(size=(5, 26)))
+        x = np.abs(rng.normal(size=(4, 26)))
+    with no_grad():
+        layer.eval()
+        layer(Tensor(calib))
+    return layer, x
+
+
+def compile_layer(layer):
+    if isinstance(layer, CIMConv2d):
+        return engine.compile_conv_plan(layer)
+    return engine.compile_linear_plan(layer)
+
+
+def build_model_plan():
+    """The fixture model of the model-level gate (seeded, deterministic)."""
+    sch = scheme(True)
+    cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=1, adc_bits=3)
+    rng = np.random.default_rng(17)
+    model = resnet8(num_classes=4, scheme=sch, cim_config=cfg,
+                    width_multiplier=0.25, seed=3)
+    calib = np.abs(rng.normal(size=(4, 3, 8, 8)))
+    with no_grad():
+        model(Tensor(calib))
+    model.eval()
+    plan = engine.compile_model_plan(model, calibrate=calib)
+    x = np.abs(rng.normal(size=(32, 3, 8, 8)))
+    return plan, x
+
+
+class TestLayerDifferential:
+    @pytest.mark.parametrize("kind", ["conv", "linear"])
+    @pytest.mark.parametrize("quantize_psum", [True, False])
+    @pytest.mark.parametrize("tile", TILE_SHAPES,
+                             ids=[f"r{r}b{b}" for r, b in TILE_SHAPES])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_drift_within_declared_bound(self, kind, quantize_psum, tile,
+                                         seed):
+        layer, x = make_layer(kind, quantize_psum, tile, seed)
+        plan = compile_layer(layer)
+        assert plan.requant is not None
+        ref = plan.execute(x)
+        plan.set_mode("int")
+        out = plan.execute(x)
+        drift = float(np.abs(out - ref).max())
+        assert drift <= plan.requant.drift_bound, \
+            f"drift {drift} exceeds declared {plan.requant.drift_bound}"
+        # the declared bound is itself meaningful: far below the output scale
+        assert np.isfinite(plan.requant.drift_bound)
+
+    @pytest.mark.parametrize("kind", ["conv", "linear"])
+    @pytest.mark.parametrize("quantize_psum", [True, False])
+    def test_zero_row_and_single_sample_edges(self, kind, quantize_psum):
+        layer, x = make_layer(kind, quantize_psum, (32, 1), 3)
+        plan = compile_layer(layer)
+        plan.set_mode("int")
+        empty = np.empty((0,) + x.shape[1:], dtype=np.float64)
+        out_empty = plan.execute(empty)
+        assert out_empty.shape[0] == 0
+        one = plan.execute(x[:1])
+        full = plan.execute(x)
+        np.testing.assert_array_equal(one, full[:1])
+
+    def test_int_output_lies_on_the_output_grid(self):
+        """Integer-route outputs are exact multiples of s_out per channel —
+        the structural signature of integer accumulation + one dequant."""
+        layer, x = make_layer("linear", False, (32, 1), 5)
+        plan = compile_layer(layer)
+        plan.set_mode("int")
+        # bias is folded onto the grid too (bias_q), so the raw output is
+        # code * s_out with integer codes
+        codes = plan.execute(x) / plan.requant.s_out
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-6)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kind", ["conv", "linear"])
+    @pytest.mark.parametrize("quantize_psum", [True, False])
+    def test_requant_constants_round_trip_bit_exact(self, tmp_path, kind,
+                                                    quantize_psum):
+        layer, x = make_layer(kind, quantize_psum, (32, 2), 9)
+        plan = compile_layer(layer)
+        path = tmp_path / "plan.npz"
+        engine.save_plan(plan, path)
+        loaded = engine.load_plan(path)
+        rq, rq2 = plan.requant, loaded.requant
+        assert rq2 is not None
+        assert rq2.shift == rq.shift
+        assert rq2.gemm_dtype == rq.gemm_dtype
+        assert rq2.acc_bound == rq.acc_bound
+        assert rq2.drift_bound == rq.drift_bound
+        assert (rq2.z_in, rq2.z_w, rq2.z_out) == (rq.z_in, rq.z_w, rq.z_out)
+        for name in type(rq)._ARRAYS:
+            a, b = getattr(rq, name), getattr(rq2, name)
+            if a is None:
+                assert b is None
+            else:
+                assert b.dtype == a.dtype, name
+                np.testing.assert_array_equal(a, b, err_msg=name)
+
+    @pytest.mark.parametrize("quantize_psum", [True, False])
+    def test_loaded_int_route_matches_in_process(self, tmp_path,
+                                                 quantize_psum):
+        layer, x = make_layer("conv", quantize_psum, (16, 1), 2)
+        plan = compile_layer(layer)
+        plan.set_mode("int")
+        out = plan.execute(x)
+        path = tmp_path / "plan.npz"
+        engine.save_plan(plan, path)
+        loaded = engine.load_plan(path)
+        assert loaded.mode == "float"          # mode is runtime state
+        loaded.set_mode("int")
+        np.testing.assert_array_equal(loaded.execute(x), out)
+        np.testing.assert_array_equal(
+            engine.load_plan(path, mode="int").execute(x), out)
+
+
+class TestModelLevelGate:
+    def test_model_drift_and_top1_agreement(self):
+        plan, x = build_model_plan()
+        ref = plan.execute(x)
+        plan.set_mode("int")
+        out = plan.execute(x)
+        drift = float(np.abs(out - ref).max())
+        assert drift <= plan.int_drift_bound()
+        agree = float((out.argmax(axis=1) == ref.argmax(axis=1)).mean())
+        assert agree == 1.0
+        # and back: float mode restores the bit-exact reference
+        plan.set_mode("float")
+        np.testing.assert_array_equal(plan.execute(x), ref)
+
+    def test_model_round_trip_int_equality(self, tmp_path):
+        plan, x = build_model_plan()
+        plan.set_mode("int")
+        out = plan.execute(x)
+        path = tmp_path / "model.npz"
+        engine.save_model_plan(plan, path)
+        loaded = engine.load_plan(path, mode="int")
+        assert loaded.mode == "int"
+        np.testing.assert_array_equal(loaded.execute(x), out)
+        # default load is the float reference
+        ref_plan = engine.load_plan(path)
+        assert ref_plan.mode == "float"
+
+    def test_runner_and_server_int_mode(self, tmp_path):
+        plan, x = build_model_plan()
+        ref = plan.execute(x)
+        plan.set_mode("int")
+        expected = plan.execute(x)
+        path = tmp_path / "model.npz"
+        engine.save_model_plan(plan, path)
+
+        runner = engine.InferenceRunner(engine.load_plan(path),
+                                        batch_size=8, mode="int")
+        np.testing.assert_array_equal(runner.predict(x), expected)
+
+        with engine.PlanServer(engine.load_plan(path), n_shards=2,
+                               mode="int", max_batch=8) as server:
+            got = server.predict(x)
+        np.testing.assert_array_equal(got, expected)
+        assert np.abs(expected - ref).max() <= plan.int_drift_bound()
+
+    def test_load_plan_cached_is_mode_keyed(self, tmp_path):
+        plan, x = build_model_plan()
+        path = tmp_path / "model.npz"
+        engine.save_model_plan(plan, path)
+        engine.clear_plan_cache()
+        as_float = engine.load_plan_cached(str(path))
+        as_int = engine.load_plan_cached(str(path), mode="int")
+        assert as_float is not as_int
+        assert as_float.mode == "float" and as_int.mode == "int"
+        assert engine.load_plan_cached(str(path), mode="int") is as_int
+        engine.clear_plan_cache()
+
+
+class TestModeContract:
+    def test_unknown_mode_raises(self):
+        layer, _ = make_layer("linear", False, (32, 1), 1)
+        plan = compile_layer(layer)
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            plan.set_mode("int8")
+
+    def test_variation_on_int_route_raises(self):
+        layer, x = make_layer("conv", True, (32, 1), 1)
+        plan = compile_layer(layer)
+        plan.set_mode("int")
+        with pytest.raises(ValueError, match="variation"):
+            plan.execute(x, variation=VariationModel(sigma=0.1, seed=0))
+        # float mode still accepts variation
+        plan.set_mode("float")
+        plan.execute(x, variation=VariationModel(sigma=0.1, seed=0))
+
+    def test_plan_without_requant_refuses_int(self):
+        layer, _ = make_layer("linear", False, (32, 1), 1)
+        plan = compile_layer(layer)
+        plan.requant = None          # simulate a pre-v2 (float-only) artifact
+        with pytest.raises(ValueError, match="requant"):
+            plan.set_mode("int")
+
+    def test_raw_input_layer_accepts_int_as_noop(self):
+        """The first conv of every model takes unquantized input — int mode
+        is an accepted no-op there, not an error."""
+        cfg = CIMConfig(array_rows=32, array_cols=32, cell_bits=1, adc_bits=3)
+        layer = CIMConv2d(3, 4, 3, scheme=scheme(True), cim_config=cfg,
+                          rng=np.random.default_rng(0),
+                          quantize_input=False)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6))
+        with no_grad():
+            layer.eval()
+            layer(Tensor(np.abs(x)))
+        plan = engine.compile_conv_plan(layer)
+        assert plan.requant is None and plan.act_scale is None
+        ref = plan.execute(x)
+        plan.set_mode("int")
+        np.testing.assert_array_equal(plan.execute(x), ref)
+
+    def test_int_mode_float32_plan_executes(self):
+        """Requant constants survive the narrowing cast: a float32 plan
+        still carries full-precision multipliers and runs the int route."""
+        layer, x = make_layer("conv", True, (32, 1), 4)
+        state = layer.pipeline.compile_state(dtype=np.float32)
+        assert state["requant"] is not None
+        plan = compile_layer(layer)
+        f32 = engine.compile_conv_plan(layer, dtype="float32")
+        f32.set_mode("int")
+        plan.set_mode("int")
+        out32, out64 = f32.execute(x), plan.execute(x)
+        assert out32.dtype == np.float32
+        assert np.abs(out32.astype(np.float64) - out64).max() <= 1e-4

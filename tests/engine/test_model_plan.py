@@ -197,6 +197,35 @@ class TestErrorPaths:
         with pytest.raises(engine.ModelPlanError, match="version"):
             engine.load_plan(path)
 
+    def test_version_1_artifacts_still_load_in_float_mode(self):
+        """The manifest version bump (1 -> 2, requant constants added) must
+        not orphan old artifacts: the committed golden fixtures are version-1
+        bytes and have to keep loading — and executing bit-exactly — on the
+        default float route.  Only mode='int' is out of reach for them."""
+        import io
+        import json
+        import os
+        from repro.engine.model_plan import (MODEL_PLAN_VERSION,
+                                             SUPPORTED_MODEL_PLAN_VERSIONS)
+        assert MODEL_PLAN_VERSION == 2
+        assert SUPPORTED_MODEL_PLAN_VERSIONS == {1, 2}
+        fixture = os.path.join(os.path.dirname(__file__), "fixtures",
+                               "resnet_tiny.npz")
+        with np.load(fixture) as archive:
+            artifact = bytes(archive["artifact"].tobytes())
+            x, golden = archive["input"], archive["golden"]
+        manifest = json.loads(bytes(
+            np.load(io.BytesIO(artifact))["__manifest__"]).decode())
+        assert manifest["version"] == 1          # the fixture IS a v1 artifact
+        plan = engine.load_plan(io.BytesIO(artifact))
+        np.testing.assert_array_equal(plan.execute(x), golden)
+        with pytest.raises(engine.ModelPlanError,
+                           match="no requant constants"):
+            plan.set_mode("int")
+        with pytest.raises(engine.ModelPlanError,
+                           match="no requant constants"):
+            engine.load_plan(io.BytesIO(artifact), mode="int")
+
     def test_non_artifact_archive_raises(self, tmp_path):
         path = tmp_path / "random.npz"
         np.savez(path, stuff=np.zeros(3))

@@ -15,14 +15,20 @@ with three entries:
 which pins two contracts at once across future PRs: the on-disk artifact
 format stays loadable, and the execution math stays numerically identical.
 
-The three cases cover the artifact surface: a quantized-psum ``ConvPlan``, a
+The float cases cover the artifact surface: a quantized-psum ``ConvPlan``, a
 ``LinearPlan``, and a whole-model ``ModelPlan`` of a reduced ResNet-8
-(residual adds, folded BatchNorm, pooling — every graph op kind).
+(residual adds, folded BatchNorm, pooling — every graph op kind).  Each has
+an ``*_int`` twin built from the *same seeded layers* whose golden output is
+recorded on the integer-requantized route (``mode="int"``), pinning the
+fixed-point math bit-for-bit as well.
 
 Everything is seeded; rerun ``python tools/make_golden_fixtures.py`` only
 when the artifact format version changes **intentionally** (bump the plan
 format/version, regenerate, and say so in the PR — a diff in these files is
-an artifact-format break, not noise).
+an artifact-format break, not noise).  Pass case names to regenerate a
+subset, e.g. ``python tools/make_golden_fixtures.py conv_int linear_int`` —
+the committed float fixtures double as the version-1 compatibility proof
+and must not be rewritten by a version-2 engine.
 """
 
 from __future__ import annotations
@@ -58,8 +64,8 @@ def _artifact_bytes(save, obj) -> np.ndarray:
     return np.frombuffer(buffer.getvalue(), dtype=np.uint8)
 
 
-def make_conv():
-    """Quantized-psum ConvPlan of one calibrated CIMConv2d."""
+def _build_conv():
+    """Quantized-psum ConvPlan of one calibrated CIMConv2d, plus a batch."""
     rng = np.random.default_rng(11)
     layer = CIMConv2d(3, 4, 3, stride=1, padding=1, bias=True,
                       scheme=SCHEME, cim_config=CIM,
@@ -70,11 +76,11 @@ def make_conv():
         layer(Tensor(calib))                 # initialize the LSQ scales
     plan = engine.compile_conv_plan(layer)
     x = np.abs(rng.normal(size=(3, 3, 8, 8)))
-    return _artifact_bytes(engine.save_plan, plan), x, plan.execute(x)
+    return engine.save_plan, plan, x
 
 
-def make_linear():
-    """LinearPlan of one calibrated CIMLinear."""
+def _build_linear():
+    """LinearPlan of one calibrated CIMLinear, plus a batch."""
     rng = np.random.default_rng(13)
     layer = CIMLinear(24, 5, bias=True, scheme=SCHEME, cim_config=CIM,
                       rng=np.random.default_rng(1))
@@ -84,10 +90,10 @@ def make_linear():
         layer(Tensor(calib))
     plan = engine.compile_linear_plan(layer)
     x = np.abs(rng.normal(size=(4, 24)))
-    return _artifact_bytes(engine.save_plan, plan), x, plan.execute(x)
+    return engine.save_plan, plan, x
 
 
-def make_resnet_tiny():
+def _build_resnet_tiny():
     """ModelPlan of a width-0.25 ResNet-8 (all graph op kinds)."""
     rng = np.random.default_rng(17)
     model = resnet8(num_classes=4, scheme=SCHEME, cim_config=CIM,
@@ -98,21 +104,64 @@ def make_resnet_tiny():
     model.eval()
     plan = engine.compile_model_plan(model, calibrate=calib)
     x = np.abs(rng.normal(size=(3, 3, 8, 8)))
-    return (_artifact_bytes(engine.save_model_plan, plan),
-            x, plan.execute(x))
+    return engine.save_model_plan, plan, x
+
+
+def _float_case(build):
+    save, plan, x = build()
+    return _artifact_bytes(save, plan), x, plan.execute(x)
+
+
+def _int_case(build):
+    save, plan, x = build()
+    artifact = _artifact_bytes(save, plan)   # mode is runtime state, not disk
+    plan.set_mode("int")
+    return artifact, x, plan.execute(x)
+
+
+def make_conv():
+    return _float_case(_build_conv)
+
+
+def make_linear():
+    return _float_case(_build_linear)
+
+
+def make_resnet_tiny():
+    return _float_case(_build_resnet_tiny)
+
+
+def make_conv_int():
+    return _int_case(_build_conv)
+
+
+def make_linear_int():
+    return _int_case(_build_linear)
+
+
+def make_resnet_tiny_int():
+    return _int_case(_build_resnet_tiny)
 
 
 CASES = {
     "conv": make_conv,
     "linear": make_linear,
     "resnet_tiny": make_resnet_tiny,
+    "conv_int": make_conv_int,
+    "linear_int": make_linear_int,
+    "resnet_tiny_int": make_resnet_tiny_int,
 }
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    names = argv if argv else list(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise SystemExit(f"unknown fixture case(s) {unknown}; "
+                         f"choose from {sorted(CASES)}")
     os.makedirs(FIXTURE_DIR, exist_ok=True)
-    for name, build in CASES.items():
-        artifact, x, golden = build()
+    for name in names:
+        artifact, x, golden = CASES[name]()
         assert x.dtype == np.float64 and golden.dtype == np.float64
         path = os.path.join(FIXTURE_DIR, f"{name}.npz")
         np.savez_compressed(path, artifact=artifact, input=x, golden=golden)
@@ -121,4 +170,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

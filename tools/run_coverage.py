@@ -16,9 +16,12 @@ threshold.  Two measurement backends, picked automatically:
 Usage (what ``make coverage`` runs)::
 
     python tools/run_coverage.py --source src/repro/engine \
-        --fail-under 85 tests/engine
+        --source src/repro/core/pipeline.py --source src/repro/core/requant.py \
+        --fail-under 85 tests/engine tests/core
 
-Everything after the flags is passed to pytest.
+``--source`` is repeatable and accepts either a directory (all ``.py``
+files under it) or a single ``.py`` file.  Everything after the flags is
+passed to pytest.
 """
 
 from __future__ import annotations
@@ -33,10 +36,16 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(
     os.path.abspath(__file__)), os.pardir))
 
 
-def _source_files(source_dir: str) -> list:
-    """All ``.py`` files under ``source_dir`` (absolute, sorted)."""
+def _source_files(source: str) -> list:
+    """All ``.py`` files of one ``--source`` entry (absolute, sorted).
+
+    A directory contributes every ``.py`` file under it; a ``.py`` file
+    contributes itself.
+    """
+    if os.path.isfile(source):
+        return [os.path.abspath(source)] if source.endswith(".py") else []
     files = []
-    for dirpath, _dirnames, filenames in os.walk(source_dir):
+    for dirpath, _dirnames, filenames in os.walk(source):
         for filename in filenames:
             if filename.endswith(".py"):
                 files.append(os.path.abspath(os.path.join(dirpath, filename)))
@@ -101,11 +110,12 @@ def _measure_fallback(files: Iterable[str], pytest_args: list) -> Tuple[int, Dic
     return int(exit_code), collector.executed
 
 
-def _measure_with_coverage(files: Iterable[str], source_dir: str,
+def _measure_with_coverage(files: Iterable[str],
                            pytest_args: list) -> Tuple[int, Dict[str, Set[int]]]:
     import coverage
     import pytest
-    cov = coverage.Coverage(source=[source_dir], data_file=None)
+    # include= (not source=) so single-file --source entries are honoured
+    cov = coverage.Coverage(include=list(files), data_file=None)
     cov.start()
     try:
         exit_code = pytest.main(pytest_args)
@@ -120,8 +130,10 @@ def _measure_with_coverage(files: Iterable[str], source_dir: str,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="pytest + line coverage with a stdlib fallback")
-    parser.add_argument("--source", default="src/repro/engine",
-                        help="directory whose .py files are measured")
+    parser.add_argument("--source", action="append", dest="sources",
+                        metavar="SOURCE",
+                        help="directory or .py file to measure (repeatable; "
+                             "default: src/repro/engine)")
     parser.add_argument("--fail-under", type=float, default=85.0,
                         help="minimum total line coverage percentage")
     parser.add_argument("pytest_args", nargs="*", default=["tests/engine"],
@@ -129,13 +141,17 @@ def main(argv=None) -> int:
     args, extra = parser.parse_known_args(argv)
     args.pytest_args = list(args.pytest_args) + extra   # flags like -q pass through
 
-    source_dir = os.path.abspath(os.path.join(REPO_ROOT, args.source)
-                                 if not os.path.isabs(args.source)
-                                 else args.source)
-    files = _source_files(source_dir)
-    if not files:
-        print(f"no .py files under {source_dir}", file=sys.stderr)
-        return 2
+    sources = [os.path.abspath(src if os.path.isabs(src)
+                               else os.path.join(REPO_ROOT, src))
+               for src in (args.sources or ["src/repro/engine"])]
+    files = []
+    for source in sources:
+        found = _source_files(source)
+        if not found:
+            print(f"no .py files under {source}", file=sys.stderr)
+            return 2
+        files.extend(found)
+    files = sorted(set(files))
     already = [name for name, module in sys.modules.items()
                if getattr(module, "__file__", None) in set(files)]
     if already:
@@ -149,8 +165,7 @@ def main(argv=None) -> int:
     try:
         import coverage  # noqa: F401 — availability probe only
         backend = "coverage"
-        exit_code, executed = _measure_with_coverage(files, source_dir,
-                                                     pytest_args)
+        exit_code, executed = _measure_with_coverage(files, pytest_args)
     except ImportError:
         backend = "stdlib settrace fallback"
         exit_code, executed = _measure_fallback(files, pytest_args)
@@ -161,7 +176,8 @@ def main(argv=None) -> int:
 
     total_exec = 0
     total_hit = 0
-    print(f"\nline coverage ({backend}) of {os.path.relpath(source_dir, REPO_ROOT)}:")
+    targets = ", ".join(os.path.relpath(src, REPO_ROOT) for src in sources)
+    print(f"\nline coverage ({backend}) of {targets}:")
     print(f"  {'file':<28} {'lines':>6} {'hit':>6} {'cover':>7}")
     for path in files:
         executable = _executable_lines(path)
