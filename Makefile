@@ -8,13 +8,14 @@
 #                       differentials, golden int fixtures)
 #   make coverage     - line coverage gate over the engine plus the requant
 #                       pipeline modules (pytest + tools/run_coverage.py,
-#                       fails under 85%; uses the coverage package when present,
+#                       fails under 90%; uses the coverage package when present,
 #                       a stdlib settrace fallback otherwise)
 #   make bench-smoke  - fast smoke pass over the benchmark harness
 #   make bench-engine - frozen-engine speedup benchmark at default scale
 #   make bench-runner - batched inference-runner throughput benchmark
 #   make bench-server - concurrent PlanServer throughput benchmark
 #   make bench-int    - integer-requantized route benchmark at default scale
+#   make bench-compiler - compiled (fused + arena) vs interpreted execution
 #   make docs-check   - fail on undocumented public APIs in the documented
 #                       modules + run the fenced python snippets of docs/engine.md
 #   make install      - editable install (works without the wheel package)
@@ -24,7 +25,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int docs-check install
+.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -38,10 +39,10 @@ test-int:
 	$(PYTHON) -m pytest tests/core/test_requant.py tests/engine/test_int_requant.py tests/engine/test_golden.py -q
 
 coverage:
-	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 85 tests/engine tests/core -q
+	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 90 tests/engine tests/core -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
@@ -54,6 +55,9 @@ bench-server:
 
 bench-int:
 	$(PYTHON) benchmarks/bench_int_requant.py
+
+bench-compiler:
+	$(PYTHON) benchmarks/bench_compiler.py
 
 docs-check:
 	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py

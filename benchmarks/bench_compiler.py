@@ -1,0 +1,177 @@
+"""Engine — compiled (fused + arena-scheduled) execution vs interpretation.
+
+The plan-graph compiler (``repro.engine.compiler``) turns a model plan's SSA
+op graph into a flat schedule: element-wise chains (``cim+batchnorm+relu``,
+``add+relu``, …) fuse into single in-place steps, and a liveness pass packs
+every scheduled value into a handful of shared arena blocks, so steady-state
+execution performs no per-call output allocations.  This benchmark pins the
+compiled-path contract:
+
+* **parity**: compiled output is bit-identical to the interpreted reference
+  (max |diff| exactly 0.0) in both float and integer execution modes;
+* **throughput**: the compiled schedule is at least 1.2x faster than
+  interpretation at the default scale;
+* **footprint**: the planned arena is smaller than the interpreter's
+  one-buffer-per-node workspace dict.
+
+Interpreted and compiled runs are timed in **separate sequential loops** —
+interleaving them per iteration makes each path churn the other's allocator
+pools and misstates both (the arena exists precisely to pin those buffers).
+
+Run directly (``python benchmarks/bench_compiler.py``) or through pytest.
+Either entry point writes a ``BENCH_compiler.json`` artifact (override the
+location with ``REPRO_BENCH_COMPILER_ARTIFACT``); ``tiny``-scale smoke runs
+skip the write so `make bench-smoke` never clobbers the tracked
+default-scale numbers.
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_artifacts import (bench_scale, calibrated_frozen_resnet8,
+                             write_artifact as _write_artifact)
+
+from repro import engine
+
+
+def _settings():
+    """Workload per benchmark scale (image/width/stream length/batch size)."""
+    if bench_scale() == "tiny":
+        return dict(image=10, width=0.25, samples=24, batch=8, repeats=2)
+    return dict(image=14, width=0.5, samples=96, batch=16, repeats=3)
+
+
+def _build_plans(cfg):
+    """One frozen ResNet-8 plan, interpreted and compiled views of it."""
+    model = calibrated_frozen_resnet8(cfg["image"], cfg["width"])
+    plan = engine.compile_model_plan(model)
+    return plan, plan.compile()
+
+
+def _parity(plan, compiled, batch):
+    """Max |interpreted - compiled| per execution mode (must be exactly 0)."""
+    diffs = {}
+    for mode in ("float", "int"):
+        plan.set_mode(mode)
+        diffs[mode] = float(
+            np.abs(plan.execute(batch) - compiled.execute(batch)).max())
+    plan.set_mode("float")
+    return diffs
+
+
+def _time_path(execute, batches, workspace, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one executor over the batch stream."""
+    execute(batches[0], workspace=workspace)       # warm allocator + caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for batch in batches:
+            execute(batch, workspace=workspace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_compiler_benchmark():
+    """Measure interpreted vs compiled execution of the same ResNet-8 plan."""
+    cfg = _settings()
+    plan, compiled = _build_plans(cfg)
+    rng = np.random.default_rng(1)
+    stream = np.abs(rng.normal(
+        size=(cfg["samples"], 3, cfg["image"], cfg["image"])))
+    batches = [stream[i:i + cfg["batch"]]
+               for i in range(0, cfg["samples"], cfg["batch"])]
+    parity = _parity(plan, compiled, batches[0])
+
+    ws_interp, ws_comp = {}, {}
+    t_interp = _time_path(plan.execute, batches, ws_interp, cfg["repeats"])
+    interp_bytes, interp_bufs = plan.workspace_footprint(ws_interp)
+    # release the interpreter's per-node buffers before timing the compiled
+    # loop: 19 live buffers fragment the allocator pools the compiled path's
+    # conv temporaries would otherwise reuse, slowing it by ~1.3x
+    ws_interp.clear()
+    t_comp = _time_path(compiled.execute, batches, ws_comp, cfg["repeats"])
+    arena_bytes, arena_blocks = compiled.workspace_footprint(ws_comp)
+    return {
+        "samples": cfg["samples"],
+        "batch_size": cfg["batch"],
+        "image": cfg["image"],
+        "width": cfg["width"],
+        "graph_ops": len(plan.nodes) - 1,
+        "scheduled_steps": compiled.n_steps,
+        "fused_ops": compiled.n_fused,
+        "parity_max_abs_diff_float": parity["float"],
+        "parity_max_abs_diff_int": parity["int"],
+        "interpreted_s": t_interp,
+        "compiled_s": t_comp,
+        "interpreted_throughput": cfg["samples"] / t_interp,
+        "compiled_throughput": cfg["samples"] / t_comp,
+        "speedup": t_interp / t_comp,
+        "interpreted_workspace_bytes": interp_bytes,
+        "interpreted_workspace_buffers": interp_bufs,
+        "arena_bytes": arena_bytes,
+        "arena_blocks": arena_blocks,
+    }
+
+
+def write_artifact(results, path=None):
+    """Write the results to ``BENCH_compiler.json`` (see ``bench_artifacts``).
+
+    Skipped at the ``tiny`` smoke scale; override the location with
+    ``REPRO_BENCH_COMPILER_ARTIFACT`` or the ``path`` argument.
+    """
+    return _write_artifact("compiler", "BENCH_compiler.json",
+                           "REPRO_BENCH_COMPILER_ARTIFACT", results, path=path)
+
+
+def _report(results) -> None:
+    print()
+    print(f"samples={results['samples']}  batch={results['batch_size']}  "
+          f"image={results['image']}  width={results['width']}")
+    print(f"schedule: {results['graph_ops']} ops -> "
+          f"{results['scheduled_steps']} steps "
+          f"({results['fused_ops']} fused)")
+    print(f"parity: float {results['parity_max_abs_diff_float']:.1e}  "
+          f"int {results['parity_max_abs_diff_int']:.1e}")
+    print(f"interpreted : {results['interpreted_s'] * 1e3:8.1f} ms  "
+          f"{results['interpreted_throughput']:8.1f} im/s  "
+          f"workspace {results['interpreted_workspace_bytes']} B / "
+          f"{results['interpreted_workspace_buffers']} buffers")
+    print(f"compiled    : {results['compiled_s'] * 1e3:8.1f} ms  "
+          f"{results['compiled_throughput']:8.1f} im/s  "
+          f"({results['speedup']:.2f}x)  "
+          f"arena {results['arena_bytes']} B / "
+          f"{results['arena_blocks']} blocks")
+
+
+def test_compiler_speedup_and_parity():
+    """Acceptance: parity exactly 0.0 (both modes), compiled >= 1.2x at the
+    default scale, and the arena strictly smaller than the interpreter's
+    workspace."""
+    results = run_compiler_benchmark()
+    _report(results)
+    write_artifact(results)
+    assert results["parity_max_abs_diff_float"] == 0.0, (
+        "compiled float output drifted from the interpreted reference by "
+        f"{results['parity_max_abs_diff_float']:.2e}")
+    assert results["parity_max_abs_diff_int"] == 0.0, (
+        "compiled int output drifted from the interpreted reference by "
+        f"{results['parity_max_abs_diff_int']:.2e}")
+    assert results["arena_bytes"] < results["interpreted_workspace_bytes"], (
+        f"arena ({results['arena_bytes']} B) not smaller than the "
+        f"interpreter workspace ({results['interpreted_workspace_bytes']} B)")
+    if bench_scale() != "tiny":
+        assert results["speedup"] >= 1.2, (
+            f"compiled path only {results['speedup']:.2f}x over "
+            "interpretation (expected >= 1.2x at default scale)")
+
+
+if __name__ == "__main__":
+    _results = run_compiler_benchmark()
+    _report(_results)
+    _path = write_artifact(_results)
+    if _path:
+        print(f"\nartifact: {_path}")

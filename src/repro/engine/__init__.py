@@ -18,6 +18,10 @@ compiles that work out, at two granularities:
   the inter-layer op graph in one ``.npz`` + JSON manifest, reloadable with
   :func:`load_plan` into a runnable executor without constructing the QAT
   model or its quantizers;
+* :class:`CompiledPlan` (``ModelPlan.compile()`` /
+  ``load_plan(..., compile=True)``) — the scheduled executor: element-wise
+  chains fused into in-place passes plus a liveness-planned buffer arena,
+  bit-exact vs the interpreted reference path;
 * :class:`InferenceRunner` / :class:`PlanExecutor` — micro-batching over a
   sample stream with reused activation buffers and per-layer timing stats,
   built on the shared batch-execution core;
@@ -40,6 +44,7 @@ from ..core.requant import (RequantConstants, compile_requant,
                             quantize_multiplier, quantize_multipliers,
                             requantize)
 from .api import freeze, frozen_layers, is_frozen, thaw
+from .compiler import CompiledPlan, FusedStep, compile_plan_graph
 from .frozen import FrozenCIMConv2d, FrozenCIMLinear
 from .model_plan import (GraphBuilder, GraphNode, ModelPlan, ModelPlanError,
                          compile_model_plan, load_model_plan, load_plan,
@@ -62,6 +67,7 @@ __all__ = [
     "save_plan", "load_plan", "load_layer_plan",
     "GraphBuilder", "GraphNode", "ModelPlan", "ModelPlanError",
     "compile_model_plan", "save_model_plan", "load_model_plan",
+    "CompiledPlan", "FusedStep", "compile_plan_graph",
     "InferenceRunner", "PlanExecutor", "RunnerStats",
     "DynamicBatcher", "Request", "SchedulerStats", "SchedulerClosed",
     "PlanServer", "ServerClosed", "ShardDied", "LRUCache",

@@ -62,6 +62,11 @@ __all__ = [
     "save_model_plan",
     "load_model_plan",
     "load_plan",
+    "run_conv2d",
+    "run_flatten",
+    "run_global_avg_pool",
+    "run_linear",
+    "run_pool",
 ]
 
 #: Manifest format marker / version of the model-plan archive schema.
@@ -259,6 +264,105 @@ def _channel_shape(param: np.ndarray, ndim: int) -> tuple:
     return (1, param.shape[0]) + (1,) * (ndim - 2)
 
 
+# --------------------------------------------------------------------------- #
+# shared op kernels
+#
+# The interpreter (ModelPlan._run_node) and the scheduled executor
+# (repro.engine.compiler.CompiledPlan) run the exact same NumPy operations in
+# the exact same order, so the shape-producing ops live here as plain
+# functions both paths call.
+# --------------------------------------------------------------------------- #
+def run_flatten(x: np.ndarray) -> np.ndarray:
+    """Flatten trailing dims to ``(N, features)`` — a view, zero-batch safe.
+
+    ``reshape(n, -1)`` cannot infer the free dimension of an empty array, so
+    the feature count is computed explicitly.
+    """
+    features = 1
+    for dim in x.shape[1:]:
+        features *= dim
+    return x.reshape(x.shape[0], features)
+
+
+def run_global_avg_pool(x: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Global average pool ``(N, C, H, W) -> (N, C)``.
+
+    Tensor.mean is ``sum * (1/count)``; mirror it for bit-exactness.  With
+    ``out`` the same reduction and multiply land in the caller's buffer
+    (identical bits, no fresh allocation).
+    """
+    scale = 1.0 / (x.shape[2] * x.shape[3])
+    if out is None:
+        return x.sum(axis=(2, 3)) * scale
+    x.sum(axis=(2, 3), out=out)
+    np.multiply(out, scale, out=out)
+    return out
+
+
+def run_pool(x: np.ndarray, op: str, kernel: tuple, stride: tuple,
+             padding: tuple, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Windowed ``max_pool`` / ``avg_pool`` via the shared unfold kernel.
+
+    With ``out`` (shape ``(N, C, out_h, out_w)``) the reduction writes into
+    the caller's buffer — same ops, same bits, no fresh result array.
+    """
+    n, c, h, w = x.shape
+    out_h = F.conv_output_size(h, kernel[0], stride[0], padding[0])
+    out_w = F.conv_output_size(w, kernel[1], stride[1], padding[1])
+    cols = F.unfold_array(x, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    dst = None if out is None else out.reshape(n, c, out_h * out_w)
+    if op == "max_pool":
+        pooled = cols.max(axis=2, out=dst)
+    else:  # Tensor.mean is sum * (1/count); mirror it for bit-exactness
+        pooled = cols.sum(axis=2, out=dst)
+        scale = 1.0 / (kernel[0] * kernel[1])
+        pooled = np.multiply(pooled, scale, out=dst)
+    return out if out is not None else pooled.reshape(n, c, out_h, out_w)
+
+
+def run_linear(x: np.ndarray, weight: np.ndarray,
+               bias: Optional[np.ndarray],
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full-precision linear layer ``x @ W.T (+ bias)``.
+
+    The bias add runs in place on the matmul output — same bits as
+    ``out + bias``, one less allocation.  With ``out`` the GEMM itself
+    writes into the caller's buffer.
+    """
+    if out is None:
+        out = x @ weight.T
+    else:
+        np.matmul(x, weight.T, out=out)
+    if bias is not None:
+        np.add(out, bias, out=out)
+    return out
+
+
+def run_conv2d(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray],
+               stride: tuple, padding: tuple,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full-precision conv2d via unfold + batched matmul (+ in-place bias).
+
+    With ``out`` (shape ``(N, C_out, out_h, out_w)``) the batched GEMM
+    writes into the caller's buffer directly — identical bits.
+    """
+    c_out, _, kh, kw = weight.shape
+    n = x.shape[0]
+    out_h = F.conv_output_size(x.shape[2], kh, stride[0], padding[0])
+    out_w = F.conv_output_size(x.shape[3], kw, stride[1], padding[1])
+    cols = F.unfold_array(x, (kh, kw), stride, padding)   # (N, K, L)
+    w2 = weight.reshape(c_out, -1)
+    if out is None:
+        out = (w2 @ cols).reshape(n, c_out, out_h, out_w)
+    else:
+        np.matmul(w2, cols, out=out.reshape(n, c_out, out_h * out_w))
+    if bias is not None:
+        np.add(out, bias.reshape(1, c_out, 1, 1), out=out)
+    return out
+
+
 @dataclass
 class ModelPlan:
     """A frozen network as plain data: node graph + per-layer plans.
@@ -274,6 +378,7 @@ class ModelPlan:
     dtype: str = "float64"
     name: str = ""
     mode: str = field(default="float", repr=False)  # runtime, not serialized
+    _compiled: Any = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -372,6 +477,30 @@ class ModelPlan:
         """Alias of :meth:`execute` (no timing, no workspace)."""
         return self.execute(x)
 
+    def compile(self):
+        """Compile the op graph into a :class:`~repro.engine.compiler.CompiledPlan`.
+
+        The compiled plan fuses element-wise chains, plans buffers by
+        liveness, and executes a flat schedule; it shares this plan's layer
+        plans (and therefore its :meth:`set_mode` state).  Interpretation
+        through :meth:`execute` remains the bit-exact reference path; the
+        compiled executor is pinned equal to it by the differential suite.
+        The result is cached, so repeated calls return the same object and
+        :meth:`summary` can report the schedule.
+        """
+        if self._compiled is None:
+            from .compiler import compile_plan_graph
+            self._compiled = compile_plan_graph(self)
+        return self._compiled
+
+    def workspace_footprint(self, workspace: Optional[dict]) -> tuple:
+        """``(resident_bytes, n_buffers)`` held by an interpreter workspace dict."""
+        if not workspace:
+            return (0, 0)
+        buffers = [buf for buf in workspace.values()
+                   if isinstance(buf, np.ndarray)]
+        return (sum(buf.nbytes for buf in buffers), len(buffers))
+
     def _buffer(self, workspace: Optional[dict], node: GraphNode,
                 shape: tuple) -> Optional[np.ndarray]:
         """Reusable output buffer for ``node``, or ``None`` without workspace."""
@@ -407,13 +536,10 @@ class ModelPlan:
                 np.add(out, beta, out=out)
             return out
         if op == "relu":
-            out = self._buffer(workspace, node, x.shape)
-            if out is None:
-                return np.where(x > 0, x, 0.0)
-            # same semantics as the np.where above (NaN -> 0), in the buffer
-            out[...] = 0.0
-            np.copyto(out, x, where=x > 0)
-            return out
+            # single pass; np.fmax drops NaN in favour of the 0.0 operand, so
+            # this is bit-identical to np.where(x > 0, x, 0.0) — NaN -> 0,
+            # -0.0 -> +0.0 — with or without a workspace buffer
+            return np.fmax(x, 0.0, out=self._buffer(workspace, node, x.shape))
         if op == "relu6":
             out = self._buffer(workspace, node, x.shape)
             return np.clip(x, 0.0, 6.0, out=out)
@@ -423,48 +549,33 @@ class ModelPlan:
                 return x + args[1]
             return np.add(x, args[1], out=out)
         if op == "flatten":
-            return x.reshape(x.shape[0], -1)
+            return run_flatten(x)
         if op == "global_avg_pool":
-            # Tensor.mean is sum * (1/count); mirror it for bit-exactness
-            return x.sum(axis=(2, 3)) * (1.0 / (x.shape[2] * x.shape[3]))
+            return run_global_avg_pool(x)
         if op in ("max_pool", "avg_pool"):
-            kernel = tuple(node.attrs["kernel"])
-            stride = tuple(node.attrs["stride"])
-            padding = tuple(node.attrs["padding"])
-            n, c, h, w = x.shape
-            out_h = F.conv_output_size(h, kernel[0], stride[0], padding[0])
-            out_w = F.conv_output_size(w, kernel[1], stride[1], padding[1])
-            cols = F.unfold_array(x, kernel, stride, padding)
-            cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
-            if op == "max_pool":
-                pooled = cols.max(axis=2)
-            else:  # Tensor.mean is sum * (1/count); mirror it for bit-exactness
-                pooled = cols.sum(axis=2) * (1.0 / (kernel[0] * kernel[1]))
-            return pooled.reshape(n, c, out_h, out_w)
+            return run_pool(x, op, tuple(node.attrs["kernel"]),
+                            tuple(node.attrs["stride"]),
+                            tuple(node.attrs["padding"]))
         if op == "linear":
-            out = x @ node.arrays["weight"].T
-            bias = node.arrays.get("bias")
-            return out if bias is None else out + bias
+            return run_linear(x, node.arrays["weight"],
+                              node.arrays.get("bias"))
         if op == "conv2d":
-            weight = node.arrays["weight"]
-            c_out, _, kh, kw = weight.shape
-            stride = tuple(node.attrs["stride"])
-            padding = tuple(node.attrs["padding"])
-            n, _, h, w = x.shape
-            out_h = F.conv_output_size(h, kh, stride[0], padding[0])
-            out_w = F.conv_output_size(w, kw, stride[1], padding[1])
-            cols = F.unfold_array(x, (kh, kw), stride, padding)   # (N, K, L)
-            out = weight.reshape(c_out, -1) @ cols                # (N, OC, L)
-            out = out.reshape(n, c_out, out_h, out_w)
-            bias = node.arrays.get("bias")
-            return out if bias is None else out + bias.reshape(1, c_out, 1, 1)
+            return run_conv2d(x, node.arrays["weight"],
+                              node.arrays.get("bias"),
+                              tuple(node.attrs["stride"]),
+                              tuple(node.attrs["padding"]))
         raise ModelPlanError(f"unknown graph op {op!r} (node {node.id})")
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def summary(self) -> str:
-        """Human-readable node list (one line per op, with plan shapes)."""
+        """Human-readable node list (one line per op, with plan shapes).
+
+        Once :meth:`compile` has run, the compiled schedule is appended:
+        fusion groups, schedule order, and the arena footprint of every
+        batch shape executed so far.
+        """
         lines = [f"ModelPlan({self.name or 'model'}, dtype={self.dtype}, "
                  f"{self.n_cim_layers} CIM layers, {len(self.nodes) - 1} ops)"]
         for node in self.nodes[1:]:
@@ -475,6 +586,8 @@ class ModelPlan:
             lines.append(f"  %{node.id:<3} {node.op:<16} "
                          f"({', '.join(f'%{i}' for i in node.inputs)})"
                          f" {node.name}{detail}")
+        if self._compiled is not None:
+            lines.append(self._compiled.summary())
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
@@ -488,6 +601,11 @@ class ModelPlan:
     def load(cls, path, mode: str = "float") -> "ModelPlan":
         """Rebuild a :class:`ModelPlan` saved by :meth:`save`."""
         return load_model_plan(path, mode=mode)
+
+    @property
+    def compiled(self):
+        """The cached :meth:`compile` result, or ``None`` before compiling."""
+        return self._compiled
 
 
 # --------------------------------------------------------------------------- #
@@ -567,14 +685,17 @@ def save_model_plan(plan: ModelPlan, path) -> None:
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8), **arrays)
 
 
-def load_model_plan(path, mode: str = "float") -> ModelPlan:
+def load_model_plan(path, mode: str = "float", compile: bool = False):
     """Rebuild a :class:`ModelPlan` from a :func:`save_model_plan` archive.
 
     Pure data path: no QAT model, layer, or quantizer objects are
     constructed.  ``mode`` selects the execution route of the returned plan
     (see :meth:`ModelPlan.set_mode`); ``"int"`` raises on v1 archives, which
-    carry no requant constants.  Raises :class:`ModelPlanError` on a
-    corrupted manifest, an unknown format/version, or missing array entries.
+    carry no requant constants.  ``compile=True`` returns
+    :meth:`ModelPlan.compile`'s scheduled executor instead of the
+    interpreter — same ``execute`` surface, so runners and servers pick it
+    up unchanged.  Raises :class:`ModelPlanError` on a corrupted manifest,
+    an unknown format/version, or missing array entries.
     """
     with np.load(path) as archive:
         if "__manifest__" not in archive.files:
@@ -617,10 +738,12 @@ def load_model_plan(path, mode: str = "float") -> ModelPlan:
         raise ModelPlanError(f"{path}: corrupted manifest: {error}") from error
     if mode != "float":
         plan.set_mode(mode)
+    if compile:
+        return plan.compile()
     return plan
 
 
-def load_plan(path, mode: str = "float"):
+def load_plan(path, mode: str = "float", compile: bool = False):
     """Load any engine artifact: a :class:`ModelPlan` or a single layer plan.
 
     Dispatches on the archive contents — model plans carry a
@@ -628,11 +751,15 @@ def load_plan(path, mode: str = "float"):
     deployment code needs one entry point regardless of what was saved.
     ``mode="int"`` returns the plan switched to the integer execution route
     (raises on float-only artifacts saved before the integer path existed).
+    ``compile=True`` returns the scheduled
+    :class:`~repro.engine.compiler.CompiledPlan` executor for model plans;
+    per-layer plans have no op graph to schedule, so the flag is a no-op
+    for them.
     """
     with np.load(path) as archive:
         files = set(archive.files)
     if "__manifest__" in files:
-        return load_model_plan(path, mode=mode)
+        return load_model_plan(path, mode=mode, compile=compile)
     if "__meta__" in files:
         return _load_layer_plan(path, mode=mode)
     raise ModelPlanError(f"{path}: not an engine artifact "

@@ -334,7 +334,17 @@ class _PlanBase:
             p /= self.s_p_full[i]
             np.clip(p, self.psum_qmin, self.psum_qmax, out=p)
             np.round(p, out=p)                              # ADC codes
-            out += np.einsum("xso,so->xo", p, self.m_fold[i], optimize=True)
+            # ``optimize=False`` skips the per-call path/parse machinery
+            # (~50us/call).  It is only safe when no axis is singleton: the
+            # optimizer can reach a BLAS kernel (different summation order,
+            # different bits) solely by squeezing a length-1 axis, so with
+            # every axis > 1 both settings resolve to the same ``c_einsum``
+            # call and the results are bit-identical.
+            m = self.m_fold[i]
+            if nl > 1 and s > 1 and oc > 1:
+                out += np.einsum("xso,so->xo", p, m, optimize=False)
+            else:
+                out += np.einsum("xso,so->xo", p, m, optimize=True)
         return out
 
     def _contract_int(self, cols_flat: np.ndarray) -> np.ndarray:

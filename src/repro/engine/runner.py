@@ -62,6 +62,12 @@ class RunnerStats:
     ``seconds`` counts time spent inside plan execution (staging and
     bookkeeping excluded); ``layer_seconds`` / ``layer_calls`` break it down
     per graph node name when timing collection is enabled.
+
+    ``arena_bytes`` / ``arena_blocks`` are resident-buffer gauges, not
+    counters: after each batch they hold the executor workspace's current
+    footprint — the fixed arena blocks of a compiled plan, or the per-node
+    activation buffers of the interpreter.  Merging shard stats sums the
+    gauges, giving the total resident across shards.
     """
 
     samples: int = 0
@@ -69,6 +75,8 @@ class RunnerStats:
     seconds: float = 0.0
     layer_seconds: Dict[str, float] = field(default_factory=dict)
     layer_calls: Dict[str, int] = field(default_factory=dict)
+    arena_bytes: int = 0
+    arena_blocks: int = 0
 
     @property
     def throughput(self) -> float:
@@ -88,6 +96,8 @@ class RunnerStats:
             "batches": self.batches,
             "seconds": self.seconds,
             "throughput": self.throughput,
+            "arena_bytes": self.arena_bytes,
+            "arena_blocks": self.arena_blocks,
             "per_layer": [{"name": name, "seconds": secs, "calls": calls}
                           for name, secs, calls in self.per_layer()],
         }
@@ -101,6 +111,8 @@ class RunnerStats:
         self.samples += other.samples
         self.batches += other.batches
         self.seconds += other.seconds
+        self.arena_bytes += other.arena_bytes
+        self.arena_blocks += other.arena_blocks
         for name, secs in other.layer_seconds.items():
             self.layer_seconds[name] = self.layer_seconds.get(name, 0.0) + secs
         for name, calls in other.layer_calls.items():
@@ -112,6 +124,8 @@ class RunnerStats:
         self.samples = 0
         self.batches = 0
         self.seconds = 0.0
+        self.arena_bytes = 0
+        self.arena_blocks = 0
         self.layer_seconds.clear()
         self.layer_calls.clear()
 
@@ -162,10 +176,17 @@ class PlanExecutor:
         out = self.plan.execute(batch, timings=timings,
                                 workspace=self._workspace)
         elapsed = time.perf_counter() - start
+        footprint = None
+        if self._workspace is not None:
+            measure = getattr(self.plan, "workspace_footprint", None)
+            if measure is not None:
+                footprint = measure(self._workspace)
         with self._stats_lock:
             self.stats.seconds += elapsed
             self.stats.batches += 1
             self.stats.samples += batch.shape[0]
+            if footprint is not None:
+                self.stats.arena_bytes, self.stats.arena_blocks = footprint
             if timings:
                 for name, secs in timings.items():
                     self.stats.layer_seconds[name] = \
@@ -181,7 +202,9 @@ class PlanExecutor:
                                batches=self.stats.batches,
                                seconds=self.stats.seconds,
                                layer_seconds=dict(self.stats.layer_seconds),
-                               layer_calls=dict(self.stats.layer_calls))
+                               layer_calls=dict(self.stats.layer_calls),
+                               arena_bytes=self.stats.arena_bytes,
+                               arena_blocks=self.stats.arena_blocks)
 
 
 class InferenceRunner:

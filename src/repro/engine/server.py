@@ -119,24 +119,26 @@ class LRUCache:
 _PLAN_CACHE = LRUCache(max_entries=8)
 
 
-def load_plan_cached(path, mode: str = "float"):
+def load_plan_cached(path, mode: str = "float", compile: bool = False):
     """:func:`~repro.engine.model_plan.load_plan` behind a process-wide LRU.
 
-    Keyed on the absolute path, the file's (mtime, size) stat **and** the
-    execution mode, so a rewritten artifact is transparently reloaded while
-    hot reloads of an unchanged file cost one ``stat`` call.  Keying on the
-    mode gives each route its own plan object: callers share the returned
-    plan, and a float-mode consumer must never observe its cached plan
-    silently flipped to the integer route (plans are otherwise read-only at
-    execution time, which is what makes the sharing — and the server's shard
-    pool — safe).
+    Keyed on the absolute path, the file's (mtime, size) stat, the
+    execution mode **and** the ``compile`` flag, so a rewritten artifact is
+    transparently reloaded while hot reloads of an unchanged file cost one
+    ``stat`` call.  Keying on the mode gives each route its own plan object:
+    callers share the returned plan, and a float-mode consumer must never
+    observe its cached plan silently flipped to the integer route (plans are
+    otherwise read-only at execution time, which is what makes the sharing —
+    and the server's shard pool — safe).  ``compile=True`` caches the
+    scheduled :class:`~repro.engine.compiler.CompiledPlan` executor for
+    model-plan artifacts (see :func:`~repro.engine.model_plan.load_plan`).
     """
     path = os.path.abspath(os.fspath(path))
     stat = os.stat(path)
-    key = (path, stat.st_mtime_ns, stat.st_size, mode)
+    key = (path, stat.st_mtime_ns, stat.st_size, mode, bool(compile))
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        plan = load_plan(path, mode=mode)
+        plan = load_plan(path, mode=mode, compile=compile)
         _PLAN_CACHE.put(key, plan)
     return plan
 

@@ -88,6 +88,27 @@ def _im2col_index_cache_nlk(channels: int, height: int, width: int,
             np.ascontiguousarray(j.T), out_h, out_w)
 
 
+@lru_cache(maxsize=256)
+def _im2col_flat_index_cache(channels: int, height: int, width: int,
+                             kh: int, kw: int, sh: int, sw: int, layout: str):
+    """Flat gather indices into a padded ``(N, C*H*W)`` view.
+
+    ``x[:, k, i, j]`` (one slice + three advanced indices) makes NumPy build
+    the result with the advanced subspace first and hand back a transposed,
+    non-contiguous array — so the engine's follow-up ``reshape`` silently
+    copied every column matrix.  A single ``np.take`` along the flattened
+    ``C*H*W`` axis gathers the same elements (bit-identical: pure data
+    movement) directly into a C-contiguous array in the requested layout,
+    which benchmarks several times faster and makes the reshape free.
+    """
+    k, i, j, out_h, out_w = _im2col_index_cache(channels, height, width,
+                                                kh, kw, sh, sw)
+    flat = k * (height * width) + i * width + j          # (K, L)
+    if layout == "nlk":
+        flat = flat.T
+    return np.ascontiguousarray(flat), out_h, out_w
+
+
 def _im2col_indices(x_padded_shape, kernel, stride):
     """Return index arrays that gather sliding windows from a padded input."""
     _, channels, height, width = x_padded_shape
@@ -120,17 +141,21 @@ def unfold_array(x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1,
     ph, pw = _pair(padding)
     x = np.asarray(x)
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-    _, channels, height, width = x.shape
-    if layout == "nkl":
-        k, i, j, _, _ = _im2col_index_cache(channels, height, width,
-                                            kernel[0], kernel[1], stride[0], stride[1])
-    elif layout == "nlk":
-        k, i, j, _, _ = _im2col_index_cache_nlk(channels, height, width,
-                                                kernel[0], kernel[1], stride[0], stride[1])
-    else:
+        # hand-rolled constant-0 pad: ``np.pad``'s generic machinery costs
+        # >100us/call in pure Python; a zeros allocation plus one interior
+        # slice-assign writes the identical bytes
+        n0, c0, h0, w0 = x.shape
+        padded = np.zeros((n0, c0, h0 + 2 * ph, w0 + 2 * pw), dtype=x.dtype)
+        padded[:, :, ph:ph + h0, pw:pw + w0] = x
+        x = padded
+    n, channels, height, width = x.shape
+    if layout not in ("nkl", "nlk"):
         raise ValueError(f"unknown layout {layout!r}; expected 'nkl' or 'nlk'")
-    return x[:, k, i, j]
+    flat, _, _ = _im2col_flat_index_cache(int(channels), int(height),
+                                          int(width), int(kernel[0]),
+                                          int(kernel[1]), int(stride[0]),
+                                          int(stride[1]), layout)
+    return np.take(x.reshape(n, channels * height * width), flat, axis=1)
 
 
 def unfold(x: Tensor, kernel_size: IntPair, stride: IntPair = 1,

@@ -257,6 +257,24 @@ class TestErrorPaths:
             engine.compile_model_plan(model)
 
 
+class TestReluSemantics:
+    @pytest.mark.parametrize("use_workspace", [False, True])
+    def test_interpreted_relu_maps_nan_to_zero(self, use_workspace):
+        """The single-pass ``np.fmax`` ReLU keeps the documented NaN -> 0
+        semantics on both the fresh-array and workspace-buffer paths."""
+        builder = engine.GraphBuilder("float64")
+        relu = builder.add_op("relu", [0], name="relu")
+        plan = engine.ModelPlan(nodes=builder.nodes, layer_plans=[],
+                                output_id=relu)
+        x = np.array([[np.nan, -np.nan], [-1.0, 2.5], [-0.0, np.inf]])
+        ws = {} if use_workspace else None
+        out = plan.execute(x, workspace=ws)
+        np.testing.assert_array_equal(
+            out, np.array([[0.0, 0.0], [0.0, 2.5], [0.0, np.inf]]))
+        # -0.0 normalizes to +0.0, matching np.where(x > 0, x, 0.0)
+        assert not np.signbit(out[2, 0])
+
+
 class TestBatchNormFolding:
     def test_frozen_stats_match_eval_forward(self):
         rng = np.random.default_rng(0)

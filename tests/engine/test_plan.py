@@ -105,9 +105,9 @@ class TestCachedIm2col:
             F.unfold_array(rng.normal(size=(1, 1, 4, 4)), (2, 2), layout="bogus")
 
     def test_index_cache_reused(self):
-        F._im2col_index_cache.cache_clear()
+        F._im2col_flat_index_cache.cache_clear()
         x = np.zeros((1, 2, 6, 6))
         F.unfold_array(x, (3, 3))
         F.unfold_array(x, (3, 3))
-        info = F._im2col_index_cache.cache_info()
+        info = F._im2col_flat_index_cache.cache_info()
         assert info.hits >= 1 and info.misses == 1
