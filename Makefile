@@ -16,6 +16,10 @@
 #   make bench-server - concurrent PlanServer throughput benchmark
 #   make bench-int    - integer-requantized route benchmark at default scale
 #   make bench-compiler - compiled (fused + arena) vs interpreted execution
+#   make bench-netserver - HTTP front-end SLO benchmark (sustained + bursty +
+#                       saturation load against a 2-shard NetServer)
+#   make serve-demo   - end-to-end HTTP serving walkthrough
+#                       (examples/serve_http.py: mount, predict, metrics, drain)
 #   make docs-check   - fail on undocumented public APIs in the documented
 #                       modules + run the fenced python snippets of docs/engine.md
 #   make install      - editable install (works without the wheel package)
@@ -25,7 +29,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler docs-check install
+.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler bench-netserver serve-demo docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -42,7 +46,7 @@ coverage:
 	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 90 tests/engine tests/core -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py benchmarks/bench_netserver_slo.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
@@ -59,8 +63,14 @@ bench-int:
 bench-compiler:
 	$(PYTHON) benchmarks/bench_compiler.py
 
+bench-netserver:
+	$(PYTHON) benchmarks/bench_netserver_slo.py
+
+serve-demo:
+	$(PYTHON) examples/serve_http.py
+
 docs-check:
-	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py tools/serve.py
 	$(PYTHON) tools/run_doc_snippets.py docs/engine.md
 
 install:

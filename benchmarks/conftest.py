@@ -14,8 +14,15 @@ the scale:
 """
 
 import os
+import sys
 
 import pytest
+
+# Make the benchmarks runnable without an installed package or an exported
+# PYTHONPATH (``python -m pytest benchmarks/...`` from the repo root).
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 from repro.training import reduced_experiment
 

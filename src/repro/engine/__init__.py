@@ -29,7 +29,14 @@ compiles that work out, at two granularities:
   subsystem: per-request ``submit``/futures, dynamic batching (flush on
   ``max_batch`` / ``max_wait_ms``), a pool of thread- or process-backed
   shard executors, bounded-queue backpressure, and an LRU result cache;
-  :func:`load_plan_cached` adds an artifact-path plan cache for hot reloads.
+  :func:`load_plan_cached` adds an artifact-path plan cache for hot reloads;
+* :class:`NetServer` — the HTTP/1.1 network front end over
+  :class:`PlanServer`: multi-model tenancy
+  (``POST /v1/models/{name}/predict``), admission control (503 +
+  ``Retry-After`` on saturated queues), per-request queue/compute latency
+  histograms (:class:`LatencyHistogram`) exported on ``GET /metrics``, and
+  a graceful drain on close; the JSON payload contract lives in
+  :mod:`repro.engine.wire`.
 
 :func:`load_plan` accepts both artifact kinds (model archives carry a
 ``__manifest__`` entry, layer archives a ``__meta__`` entry).  The fast
@@ -53,10 +60,16 @@ from .plan import (ConvPlan, LinearPlan, PlanNotReadyError, compile_conv_plan,
                    compile_linear_plan, compile_plan, layer_signature,
                    load_plan as load_layer_plan, normalize_dtype, save_plan,
                    signature_ready)
+from .latency import LatencyHistogram
+from .netserver import EndpointCounters, ModelEndpoint, NetServer, Saturated
 from .runner import InferenceRunner, PlanExecutor, RunnerStats
-from .scheduler import DynamicBatcher, Request, SchedulerClosed, SchedulerStats
+from .scheduler import (DynamicBatcher, Request, RequestTiming,
+                        SchedulerClosed, SchedulerStats)
 from .server import (LRUCache, PlanServer, ServerClosed, ShardDied,
                      clear_plan_cache, load_plan_cached)
+from .wire import (BadRequest, PayloadTooLarge, UnprocessableInput, WireError,
+                   decode_predict_request, encode_error,
+                   encode_predict_response)
 
 __all__ = [
     "freeze", "thaw", "is_frozen", "frozen_layers",
@@ -69,9 +82,14 @@ __all__ = [
     "compile_model_plan", "save_model_plan", "load_model_plan",
     "CompiledPlan", "FusedStep", "compile_plan_graph",
     "InferenceRunner", "PlanExecutor", "RunnerStats",
-    "DynamicBatcher", "Request", "SchedulerStats", "SchedulerClosed",
+    "DynamicBatcher", "Request", "RequestTiming", "SchedulerStats",
+    "SchedulerClosed",
     "PlanServer", "ServerClosed", "ShardDied", "LRUCache",
     "load_plan_cached", "clear_plan_cache",
+    "NetServer", "ModelEndpoint", "EndpointCounters", "Saturated",
+    "LatencyHistogram",
+    "WireError", "BadRequest", "PayloadTooLarge", "UnprocessableInput",
+    "decode_predict_request", "encode_predict_response", "encode_error",
     "RequantConstants", "compile_requant", "requantize",
     "quantize_multiplier", "quantize_multipliers",
 ]

@@ -1,0 +1,631 @@
+"""Network serving front end: HTTP/1.1 over :class:`~repro.engine.server.PlanServer`.
+
+:class:`~repro.engine.server.PlanServer` is in-process only — callers must
+hold the plan object and speak ``submit``/futures.  :class:`NetServer` puts
+that stack behind a socket so anything that can POST JSON can be a client,
+and adds the three things a wire boundary makes necessary:
+
+* **multi-model tenancy** — each :meth:`NetServer.add_model` call mounts one
+  artifact (path or in-memory plan, any ``mode=`` / ``compile=``
+  combination) as ``POST /v1/models/{name}/predict``, backed by its own
+  :class:`~repro.engine.server.PlanServer` (private batcher, shard pool and
+  caches), with artifact paths deduplicated through
+  :func:`~repro.engine.server.load_plan_cached`;
+* **admission control** — when a model's bounded request queue cannot take a
+  request's samples, the request is rejected *immediately* with
+  ``503 Retry-After`` instead of blocking the accept loop; accepted
+  requests therefore see bounded queueing, not a collapsing backlog
+  (pinned by ``benchmarks/bench_netserver_slo.py``);
+* **SLO instrumentation** — every request's latency is split into
+  queue-wait vs compute (via the ``future.timing`` stamps the shard workers
+  attach) and recorded into
+  :class:`~repro.engine.latency.LatencyHistogram` instances;
+  ``GET /metrics`` exports p50/p95/p99 per model next to the existing
+  ``stats_report()`` counters, and the request counters conserve:
+  ``accepted + rejected == offered``.
+
+Routes (all bodies JSON, schema in :mod:`repro.engine.wire`):
+
+=======  ================================  =====================================
+Method   Path                              Meaning
+=======  ================================  =====================================
+GET      ``/healthz``                      liveness + mounted model names
+GET      ``/metrics``                      full serving metrics document
+POST     ``/v1/models/{name}/predict``     run a ``(N, *sample)`` input batch
+POST     ``/v1/models/{name}/restart``     replace the model's shard pool
+=======  ================================  =====================================
+
+Error surface: 400 broken body, 404 unknown route/model, 411 missing
+length, 413 oversized body or batch, 422 well-formed input the model cannot
+execute (shape mismatch — validated cheaply by running a zero-row probe
+batch through the plan before anything queues), 503 saturated / shutting
+down / every shard dead, 500 execution failure (exactly the affected
+requests — the server itself stays up, which
+``tests/engine/test_netserver_faults.py`` pins by following every injected
+fault with a successful request).
+
+Transport: stdlib ``http.server.ThreadingHTTPServer`` (one thread per
+connection, keep-alive on) — no third-party dependency, GIL released inside
+the NumPy GEMMs where the time actually goes.  Client disconnects are
+swallowed per-connection (counted in ``/metrics``) and never take the
+server down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import urlparse
+
+import numpy as np
+
+from . import wire
+from .latency import LatencyHistogram
+from .server import PlanServer, ServerClosed
+
+__all__ = ["NetServer", "ModelEndpoint", "EndpointCounters", "Saturated"]
+
+
+class Saturated(RuntimeError):
+    """A request refused by admission control (mapped to 503 + Retry-After)."""
+
+    def __init__(self, detail: str, retry_after_s: float):
+        super().__init__(detail)
+        self.detail = detail
+        self.retry_after_s = retry_after_s
+
+
+class EndpointCounters:
+    """Thread-safe request accounting for one served model.
+
+    The conservation contract — every *offered* request is classified as
+    exactly one of *accepted* or *rejected*, and every accepted request
+    eventually lands in *completed* or *failed* — is what makes the counters
+    trustworthy for capacity math; ``tests/engine/test_netserver_load.py``
+    asserts it over a live socket.  ``bad_requests`` counts bodies refused
+    before admission (400/413/422) and is deliberately outside the
+    conservation sum.
+    """
+
+    FIELDS = ("offered", "accepted", "rejected", "completed", "failed",
+              "bad_requests", "samples_offered", "samples_accepted",
+              "cache_hits", "restarts")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def add(self, **fields: int) -> None:
+        """Atomically bump the named counters by the given amounts."""
+        with self._lock:
+            for name, amount in fields.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def to_dict(self) -> dict:
+        """A consistent snapshot of every counter."""
+        with self._lock:
+            return {field: getattr(self, field) for field in self.FIELDS}
+
+
+class ModelEndpoint:
+    """One mounted model: a :class:`PlanServer` plus wire-side accounting.
+
+    Constructed through :meth:`NetServer.add_model`.  The endpoint owns
+    admission control (one lock serializes capacity checks against submits,
+    so an admitted request never blocks on a full queue), the per-request
+    latency histograms, and the restart machinery (a fresh shard pool from
+    the retained plan source — the recovery path when process shards die).
+    """
+
+    def __init__(self, name: str, plan_source, server_kwargs: dict,
+                 max_request_samples: Optional[int] = None,
+                 request_timeout_s: float = 60.0):
+        self.name = name
+        self._plan_source = plan_source
+        self._server_kwargs = dict(server_kwargs)
+        self.server = PlanServer(plan_source, **self._server_kwargs)
+        queue_size = self.server.batcher.queue_size
+        self.max_request_samples = min(max_request_samples or queue_size,
+                                       queue_size)
+        self.request_timeout_s = float(request_timeout_s)
+        self.counters = EndpointCounters()
+        self.latency: Dict[str, LatencyHistogram] = {
+            "total": LatencyHistogram(),
+            "queue": LatencyHistogram(),
+            "compute": LatencyHistogram(),
+        }
+        self._admission = threading.Lock()
+        self._known_shapes: set = set()
+
+    # ------------------------------------------------------------------ #
+    def _validate_sample_shape(self, batch: np.ndarray) -> None:
+        """422 unless the plan can execute this sample shape.
+
+        A zero-row probe batch runs the whole graph at zero cost (the
+        zero-batch path is part of the engine contract since PR 4), so a
+        wrong spatial size or channel count fails *here*, with the plan's
+        own error message, instead of poisoning a shard mid-batch.  Each
+        distinct accepted shape is probed once and then remembered.
+        """
+        shape = tuple(int(dim) for dim in batch.shape[1:])
+        if shape in self._known_shapes:
+            return
+        probe = np.zeros((0,) + shape, dtype=self.server.plan.np_dtype)
+        try:
+            self.server.plan.execute(probe)
+        except Exception as error:   # noqa: BLE001 — classified as 422
+            raise wire.UnprocessableInput(
+                f"model {self.name!r} cannot execute sample shape "
+                f"{shape}: {type(error).__name__}: {error}") from error
+        self._known_shapes.add(shape)
+
+    def _admit(self, batch: np.ndarray) -> List:
+        """Classify the request as accepted (submitting it) or rejected.
+
+        Holding the admission lock across check-then-submit means capacity
+        seen by the check cannot be stolen by a sibling handler thread, so
+        ``submit(timeout=0)`` never spuriously times out — the queue only
+        drains concurrently.  Raises :class:`Saturated` (503) on a full
+        queue and :class:`ServerClosed` (503) while shutting down or after
+        every shard died.
+        """
+        n = int(batch.shape[0])
+        batcher = self.server.batcher
+        with self._admission:
+            self.counters.add(offered=1, samples_offered=n)
+            if batcher.pending + n > batcher.queue_size:
+                self.counters.add(rejected=1)
+                raise Saturated(
+                    f"model {self.name!r} queue is full "
+                    f"({batcher.pending}/{batcher.queue_size} pending, "
+                    f"{n} samples offered); retry shortly",
+                    retry_after_s=max(0.05, 2.0 * batcher.max_wait))
+            try:
+                futures = self.server.submit_many(batch, timeout=0.0)
+            except ServerClosed:
+                self.counters.add(rejected=1)
+                raise
+            self.counters.add(accepted=1, samples_accepted=n)
+        return futures
+
+    def predict(self, body: bytes):
+        """Decode, validate, admit, execute and time one predict request.
+
+        Returns ``(response_body_bytes, timing_ms)``.  Raises
+        :class:`~repro.engine.wire.WireError` (4xx), :class:`Saturated` /
+        :class:`~repro.engine.server.ServerClosed` (503) or lets execution
+        errors (500, exactly this request's samples) propagate — the caller
+        maps each to its HTTP status.
+        """
+        t_start = time.monotonic()
+        try:
+            batch = wire.decode_predict_request(
+                body, self.server.plan.np_dtype,
+                max_samples=self.max_request_samples)
+            self._validate_sample_shape(batch)
+        except wire.WireError:
+            self.counters.add(bad_requests=1)
+            raise
+        futures = self._admit(batch)
+        try:
+            rows = [future.result(timeout=self.request_timeout_s)
+                    for future in futures]
+        except Exception:
+            self.counters.add(failed=1)
+            raise
+        timings = [getattr(future, "timing", None) for future in futures]
+        known = [timing for timing in timings if timing is not None]
+        queue_s = max((timing.queue_s for timing in known), default=0.0)
+        compute_s = max((timing.compute_s for timing in known), default=0.0)
+        total_s = time.monotonic() - t_start
+        self.latency["total"].record(total_s)
+        self.latency["queue"].record(queue_s)
+        self.latency["compute"].record(compute_s)
+        self.counters.add(
+            completed=1,
+            cache_hits=sum(1 for timing in known if timing.cached))
+        timing_ms = {"total": total_s * 1e3, "queue": queue_s * 1e3,
+                     "compute": compute_s * 1e3}
+        return (wire.encode_predict_response(self.name, np.stack(rows),
+                                             timing_ms),
+                timing_ms)
+
+    # ------------------------------------------------------------------ #
+    def restart(self) -> None:
+        """Replace the shard pool with a fresh one from the retained source.
+
+        The recovery path after shard death: the old :class:`PlanServer` is
+        closed (drained where possible — a pool whose shards all died has
+        nothing left to drain) and a new one is built with the original
+        construction arguments.  In-flight requests against the old pool
+        fail with their pool's error; requests admitted after the swap are
+        served by the new shards.
+        """
+        with self._admission:
+            old = self.server
+            self.server = PlanServer(self._plan_source, **self._server_kwargs)
+            self.counters.add(restarts=1)
+        try:
+            old.close(timeout=10.0)
+        except TimeoutError:
+            pass   # old pool keeps draining in the background; new pool serves
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain and stop the underlying :class:`PlanServer`."""
+        self.server.close(timeout=timeout)
+
+    def metrics(self) -> dict:
+        """This endpoint's full metrics document (one entry of ``/metrics``)."""
+        plan = self.server.plan
+        return {
+            "plan": {
+                "name": getattr(plan, "name", "") or self.name,
+                "dtype": str(getattr(plan, "np_dtype", "")),
+                "mode": getattr(plan, "mode", "float"),
+                "compiled": type(plan).__name__ == "CompiledPlan",
+            },
+            "admission": {
+                "queue_size": self.server.batcher.queue_size,
+                "pending": self.server.batcher.pending,
+                "max_request_samples": self.max_request_samples,
+            },
+            "requests": self.counters.to_dict(),
+            "latency": {kind: histogram.to_dict()
+                        for kind, histogram in self.latency.items()},
+            "serving": self.server.stats_report(),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------------- #
+class _HttpServer(ThreadingHTTPServer):
+    """Threading HTTP server that treats client aborts as noise, not errors."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default listen backlog is 5; a connection burst beyond
+    # it stalls clients for a full SYN retransmit (~1s) or resets them.
+    request_queue_size = 128
+    net: "NetServer" = None   # attached by NetServer right after construction
+
+    def handle_error(self, request, client_address):
+        """Count client-side connection drops; re-raise nothing, log others."""
+        import sys
+        error = sys.exc_info()[1]
+        if isinstance(error, (ConnectionError, socket.timeout, OSError)):
+            if self.net is not None:
+                self.net._note_disconnect()
+            return
+        super().handle_error(request, client_address)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: routes, body limits, JSON responses, quiet logging."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-netserver/1"
+    timeout = 60.0                      # per-connection socket timeout
+    # The handler writes status+headers and the JSON body as separate
+    # segments; with Nagle on, the body segment stalls behind the client's
+    # delayed ACK (~40ms per keep-alive request at small payloads).
+    disable_nagle_algorithm = True
+
+    # BaseHTTPRequestHandler logs every request to stderr by default; a
+    # serving benchmark must not measure terminal I/O.
+    def log_message(self, format, *args):   # noqa: A002 — stdlib signature
+        """Silence per-request stderr logging (metrics replace it)."""
+
+    @property
+    def net(self) -> "NetServer":
+        """The owning :class:`NetServer` (attached to the HTTP server)."""
+        return self.server.net
+
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, body: bytes,
+                   headers: Optional[dict] = None) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, socket.timeout, BrokenPipeError):
+            self.net._note_disconnect()
+            self.close_connection = True
+
+    def _send_error(self, status: int, reason: str, detail: str,
+                    headers: Optional[dict] = None) -> None:
+        self._send_json(status, wire.encode_error(status, reason, detail),
+                        headers)
+
+    def _read_body(self) -> Optional[bytes]:
+        """Read the request body within limits; ``None`` means already handled."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self._send_error(411, "length required",
+                             "predict requests must carry Content-Length")
+            return None
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError(length_header)
+        except ValueError:
+            self._send_error(400, "bad request",
+                             f"invalid Content-Length {length_header!r}")
+            return None
+        if length > self.net.max_body_bytes:
+            # refuse without reading; the unread body forces a fresh connection
+            self.close_connection = True
+            self._send_error(413, "payload too large",
+                             f"body of {length} bytes exceeds the "
+                             f"{self.net.max_body_bytes}-byte limit",
+                             headers={"Connection": "close"})
+            return None
+        try:
+            body = self.rfile.read(length)
+        except (ConnectionError, socket.timeout):
+            self.net._note_disconnect()
+            self.close_connection = True
+            return None
+        if len(body) < length:
+            # client hung up mid-request; answering is best-effort
+            self.net._note_disconnect()
+            self.close_connection = True
+            self._send_error(400, "bad request",
+                             f"body truncated at {len(body)}/{length} bytes")
+            return None
+        return body
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self):   # noqa: N802 — stdlib naming
+        """Serve ``/healthz`` and ``/metrics``."""
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._send_json(200, json.dumps(self.net.health()).encode())
+        elif path == "/metrics":
+            self._send_json(200, json.dumps(self.net.metrics()).encode())
+        else:
+            self._send_error(404, "not found", f"no route for GET {path}")
+
+    def do_POST(self):   # noqa: N802 — stdlib naming
+        """Serve ``/v1/models/{name}/predict`` and ``.../restart``."""
+        path = urlparse(self.path).path
+        parts = [part for part in path.split("/") if part]
+        if len(parts) != 4 or parts[:2] != ["v1", "models"] \
+                or parts[3] not in ("predict", "restart"):
+            self._send_error(404, "not found", f"no route for POST {path}")
+            return
+        name, action = parts[2], parts[3]
+        endpoint = self.net.endpoint(name)
+        if endpoint is None:
+            self._send_error(404, "not found",
+                             f"no model {name!r} is mounted; available: "
+                             f"{sorted(self.net.model_names())}")
+            return
+        if action == "restart":
+            endpoint.restart()
+            self._send_json(200, json.dumps(
+                {"model": name, "restarted": True,
+                 "n_shards": endpoint.server.n_shards}).encode())
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            response, _timing = endpoint.predict(body)
+        except wire.WireError as error:
+            self._send_error(error.status, error.reason, error.detail)
+            return
+        except Saturated as error:
+            self._send_error(
+                503, "saturated", error.detail,
+                headers={"Retry-After":
+                         f"{max(1, round(error.retry_after_s)):d}"})
+            return
+        except ServerClosed as error:
+            self._send_error(503, "unavailable",
+                             f"model {name!r} is not serving: {error}; "
+                             "restart the model or retry later",
+                             headers={"Retry-After": "1"})
+            return
+        except TimeoutError as error:
+            self._send_error(504, "deadline exceeded",
+                             f"request did not complete within "
+                             f"{endpoint.request_timeout_s}s: {error}")
+            return
+        except Exception as error:   # noqa: BLE001 — shard faults -> 500
+            self._send_error(500, "execution failed",
+                             f"{type(error).__name__}: {error}")
+            return
+        self._send_json(200, response)
+
+
+# --------------------------------------------------------------------------- #
+# the front end
+# --------------------------------------------------------------------------- #
+class NetServer:
+    """The multi-model HTTP serving front end.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address.  ``port=0`` (default) binds an ephemeral port —
+        read the real one from :attr:`port` / :attr:`url` (how every test
+        and the demo runs, so nothing collides).
+    max_body_bytes:
+        Request bodies larger than this are refused with 413 *before*
+        being read (:data:`repro.engine.wire.MAX_BODY_BYTES` by default).
+
+    Lifecycle: construct (binds), :meth:`add_model` any number of times,
+    :meth:`start` (accept loop in a daemon thread), :meth:`close` (stop
+    accepting, then drain every model's shard pool — the no-drop contract
+    of :meth:`PlanServer.close` extends to the wire).  Also a context
+    manager: ``with NetServer() as net: ...``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_body_bytes: int = wire.MAX_BODY_BYTES):
+        self.max_body_bytes = int(max_body_bytes)
+        self._endpoints: Dict[str, ModelEndpoint] = {}
+        self._endpoints_lock = threading.Lock()
+        self._disconnects = 0
+        self._disconnects_lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._httpd = _HttpServer((host, port), _Handler)
+        self._httpd.net = self
+        self._serve_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the ephemeral one when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target, e.g. ``http://127.0.0.1:43210``."""
+        return f"http://{self.host}:{self.port}"
+
+    def _note_disconnect(self) -> None:
+        with self._disconnects_lock:
+            self._disconnects += 1
+
+    @property
+    def client_disconnects(self) -> int:
+        """Connections dropped by clients mid-request/response (survived)."""
+        with self._disconnects_lock:
+            return self._disconnects
+
+    # ------------------------------------------------------------------ #
+    def add_model(self, name: str, plan, *,
+                  max_request_samples: Optional[int] = None,
+                  request_timeout_s: float = 60.0,
+                  **server_kwargs) -> ModelEndpoint:
+        """Mount a model at ``/v1/models/{name}/predict``.
+
+        ``plan`` is anything :class:`PlanServer` accepts — an artifact path
+        (resolved through the plan cache, honoring ``mode=`` /
+        ``compile=``), a :class:`~repro.engine.model_plan.ModelPlan`, or a
+        compiled executor.  ``server_kwargs`` are forwarded verbatim to
+        :class:`PlanServer` (``n_shards``, ``backend``, ``max_batch``,
+        ``max_wait_ms``, ``queue_size``, ``result_cache_entries``,
+        ``mode`` ...).  ``max_request_samples`` caps one request's batch
+        (at most the queue size — a request that can never be admitted is
+        a 413, not an eternal 503); ``request_timeout_s`` bounds how long a
+        handler waits for results before answering 504.
+        """
+        if not name or any(ch in name for ch in "/ \t\n"):
+            raise ValueError(f"model name {name!r} must be non-empty and "
+                             "contain no slashes or whitespace")
+        if server_kwargs.pop("compile", False):
+            if isinstance(plan, (str, os.PathLike)):
+                from .server import load_plan_cached
+                plan = load_plan_cached(
+                    plan, mode=server_kwargs.get("mode") or "float",
+                    compile=True)
+            elif hasattr(plan, "compile"):
+                plan = plan.compile()
+            # anything else (e.g. an already-compiled plan) serves as-is
+        endpoint = ModelEndpoint(name, plan, server_kwargs,
+                                 max_request_samples=max_request_samples,
+                                 request_timeout_s=request_timeout_s)
+        with self._endpoints_lock:
+            if name in self._endpoints:
+                endpoint.close()
+                raise ValueError(f"model {name!r} is already mounted")
+            self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Optional[ModelEndpoint]:
+        """The mounted endpoint for ``name`` (``None`` when unknown)."""
+        with self._endpoints_lock:
+            return self._endpoints.get(name)
+
+    def model_names(self) -> List[str]:
+        """Names of every mounted model."""
+        with self._endpoints_lock:
+            return list(self._endpoints)
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "NetServer":
+        """Start the accept loop in a daemon thread; returns ``self``."""
+        if self._closed:
+            raise RuntimeError("NetServer is closed")
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="netserver-accept", daemon=True)
+            self._serve_thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, then drain every model.
+
+        New connections are refused first; requests already admitted into a
+        model's queue are served to completion by
+        :meth:`PlanServer.close` (per-model ``timeout`` forwarded).  Safe
+        to call more than once.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._httpd.server_close()
+        with self._endpoints_lock:
+            endpoints = list(self._endpoints.values())
+        for endpoint in endpoints:
+            endpoint.close(timeout=timeout)
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The ``/healthz`` document: liveness plus mounted model names."""
+        return {
+            "status": "ok",
+            "models": sorted(self.model_names()),
+            "uptime_s": time.monotonic() - self._started_at,
+        }
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` document: per-model SLO + serving statistics.
+
+        Per model: the request counters (conserving ``accepted + rejected
+        == offered``), the total/queue/compute latency histograms
+        (p50/p95/p99 in milliseconds), admission state, and the underlying
+        :meth:`PlanServer.stats_report`.
+        """
+        with self._endpoints_lock:
+            endpoints = dict(self._endpoints)
+        return {
+            "server": {
+                "url": self.url,
+                "uptime_s": time.monotonic() - self._started_at,
+                "client_disconnects": self.client_disconnects,
+                "max_body_bytes": self.max_body_bytes,
+            },
+            "models": {name: endpoint.metrics()
+                       for name, endpoint in sorted(endpoints.items())},
+        }

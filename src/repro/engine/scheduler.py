@@ -33,11 +33,33 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["Request", "SchedulerStats", "DynamicBatcher", "SchedulerClosed"]
+__all__ = ["Request", "RequestTiming", "SchedulerStats", "DynamicBatcher",
+           "SchedulerClosed"]
 
 
 class SchedulerClosed(RuntimeError):
     """Raised when submitting to a batcher that has been closed."""
+
+
+@dataclass
+class RequestTiming:
+    """Where one request's latency went: queueing vs executing.
+
+    Attached by the server to each request's future (as ``future.timing``)
+    **before** the future resolves, so any reader that observed the result
+    also observes a fully written timing — the network front end feeds these
+    into its per-request latency histograms (queue-wait vs compute split).
+    ``cached`` marks result-cache hits, which never queue or execute.
+    """
+
+    queue_s: float = 0.0          # submit -> batch claimed by a shard
+    compute_s: float = 0.0        # batch claimed -> batch results ready
+    cached: bool = False          # resolved from the result cache
+
+    @property
+    def total_s(self) -> float:
+        """Queue wait plus compute time (the server-side request latency)."""
+        return self.queue_s + self.compute_s
 
 
 @dataclass
@@ -49,6 +71,7 @@ class Request:
     future: Future                # resolves to this sample's output row
     arrival: float = field(default_factory=time.monotonic)
     cache_key: Optional[bytes] = None   # set when result caching is on
+    dispatched: Optional[float] = None  # stamped when a batch claims it
 
 
 @dataclass
@@ -156,6 +179,9 @@ class DynamicBatcher:
     def _pop_batch(self, timed_out: bool) -> List[Request]:
         batch = [self._pending.popleft()
                  for _ in range(min(self.max_batch, len(self._pending)))]
+        now = time.monotonic()
+        for request in batch:
+            request.dispatched = now   # ends the queue-wait clock
         self.stats.batches += 1
         self.stats.batched_samples += len(batch)
         self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(batch))

@@ -46,7 +46,7 @@ import numpy as np
 
 from .model_plan import load_plan
 from .runner import PlanExecutor, RunnerStats, empty_batch_result
-from .scheduler import DynamicBatcher, Request, SchedulerClosed
+from .scheduler import DynamicBatcher, Request, RequestTiming, SchedulerClosed
 
 __all__ = ["PlanServer", "ServerClosed", "ShardDied", "LRUCache",
            "load_plan_cached", "clear_plan_cache"]
@@ -353,22 +353,44 @@ class PlanServer:
             try:
                 stacked = np.stack([request.payload for request in batch])
                 out = shard.execute_batch(stacked)
+                completed = time.monotonic()
                 for row, request in zip(out, batch):
                     result = np.array(row, copy=True)
                     if self.result_cache is not None and request.cache_key:
                         result.flags.writeable = False
                         self.result_cache.put(request.cache_key, result)
+                    self._stamp_timing(request, completed)
                     request.future.set_result(result)
             except ShardDied as error:
+                completed = time.monotonic()
                 for request in batch:
                     if not request.future.done():
+                        self._stamp_timing(request, completed)
                         request.future.set_exception(error)
                 self._retire_worker(error)
                 return
             except Exception as error:   # noqa: BLE001 — fail the whole batch
+                completed = time.monotonic()
                 for request in batch:
                     if not request.future.done():
+                        self._stamp_timing(request, completed)
                         request.future.set_exception(error)
+
+    @staticmethod
+    def _stamp_timing(request: Request, completed: float) -> None:
+        """Attach the queue/compute split to the future, pre-resolution.
+
+        Written before ``set_result``/``set_exception``, so any caller that
+        observed the outcome also observes the timing (the future's internal
+        condition provides the ordering).  The network front end reads it
+        as ``future.timing`` for its latency histograms.
+        """
+        dispatched = request.dispatched
+        if dispatched is None:   # defensive: batch never went through _pop_batch
+            dispatched = completed
+        request.future.timing = RequestTiming(
+            queue_s=max(0.0, dispatched - request.arrival),
+            compute_s=max(0.0, completed - dispatched))
 
     def _retire_worker(self, error: Exception) -> None:
         """Take a dead shard's worker out of rotation; keep the rest serving.
@@ -422,6 +444,7 @@ class PlanServer:
             cache_key = _digest(payload)
             cached = self.result_cache.get(cache_key)
             if cached is not None:
+                future.timing = RequestTiming(cached=True)
                 future.set_result(cached)
                 return future
         with self._seq_lock:

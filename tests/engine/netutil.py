@@ -1,0 +1,45 @@
+"""Tiny HTTP client helpers shared by the netserver test modules.
+
+Deliberately built on ``http.client`` (not ``urllib``) so tests control the
+socket precisely — needed for the disconnect-mid-request fault injections —
+and on plain ``(status, headers, body_json)`` tuples so assertions stay
+one-liners.
+"""
+
+import http.client
+import json
+import socket
+
+
+def request(net, method, path, payload=None, timeout=15.0, headers=None,
+            raw_body=None):
+    """One HTTP exchange against a NetServer; returns (status, headers, json).
+
+    ``payload`` (any JSON-serializable object) and ``raw_body`` (bytes sent
+    verbatim) are mutually exclusive; a body of ``None`` sends no body.
+    The response body is JSON-decoded when non-empty.
+    """
+    assert payload is None or raw_body is None
+    body = raw_body if raw_body is not None else (
+        None if payload is None else json.dumps(payload).encode())
+    conn = http.client.HTTPConnection(net.host, net.port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        data = response.read()
+        parsed = json.loads(data) if data else None
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        conn.close()
+
+
+def predict(net, model, inputs, timeout=15.0):
+    """POST a predict request; returns (status, headers, body_json)."""
+    return request(net, "POST", f"/v1/models/{model}/predict",
+                   payload={"inputs": inputs}, timeout=timeout)
+
+
+def raw_socket(net, timeout=5.0):
+    """A connected raw TCP socket to the server (for disconnect injections)."""
+    sock = socket.create_connection((net.host, net.port), timeout=timeout)
+    return sock

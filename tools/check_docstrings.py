@@ -27,6 +27,7 @@ DEFAULT_TARGETS = (
     "src/repro/core/psum.py",
     "src/repro/core/pipeline.py",
     "src/repro/cim/cost.py",
+    "tools/serve.py",
 )
 
 

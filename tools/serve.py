@@ -1,0 +1,143 @@
+"""CLI entry point for the network serving front end.
+
+Loads one or more frozen model-plan artifacts, mounts each as
+``POST /v1/models/{name}/predict`` on a :class:`repro.engine.NetServer`,
+and serves until SIGTERM/SIGINT — then drains gracefully (every admitted
+request is answered before the process exits; the no-drop contract of
+``PlanServer.close`` extended to the wire).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve.py \
+        --model resnet=artifacts/resnet8_plan.npz \
+        --model resnet_int=artifacts/resnet8_plan.npz:mode=int \
+        --port 8080 --shards 2 --max-batch 16
+
+Each ``--model`` is ``name=path[:key=value...]`` where the per-model
+options ``mode`` (``float``/``int``), ``compile`` (``true``/``false``) and
+``shards`` override the global flags — so one process can serve the same
+artifact on several routes (e.g. a float reference next to the integer
+route).  ``--port 0`` binds an ephemeral port and prints it, which is how
+``examples/serve_http.py`` and the tests drive this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+from typing import Dict, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.engine import NetServer   # noqa: E402 — after the path shim
+
+
+def parse_model_spec(spec: str) -> Tuple[str, str, Dict[str, str]]:
+    """Split ``name=path[:key=value...]`` into its parts.
+
+    The path may itself contain ``=``-free colons only in the option tail,
+    so artifact paths with drive letters are not supported — keep artifacts
+    on POSIX paths (the rest of the toolchain already assumes fork).
+    """
+    if "=" not in spec:
+        raise argparse.ArgumentTypeError(
+            f"--model {spec!r}: expected name=path[:key=value...]")
+    name, rest = spec.split("=", 1)
+    options: Dict[str, str] = {}
+    path = rest
+    if ":" in rest:
+        path, tail = rest.split(":", 1)
+        for item in tail.split(":"):
+            if "=" not in item:
+                raise argparse.ArgumentTypeError(
+                    f"--model {spec!r}: bad option {item!r} "
+                    "(expected key=value)")
+            key, value = item.split("=", 1)
+            options[key] = value
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"--model {spec!r}: empty name or path")
+    return name, path, options
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The serve CLI's argument surface."""
+    parser = argparse.ArgumentParser(
+        description="Serve frozen model-plan artifacts over HTTP.")
+    parser.add_argument("--model", action="append", required=True,
+                        metavar="NAME=PATH[:k=v...]", type=parse_model_spec,
+                        help="mount an artifact (repeatable); per-model "
+                             "options: mode=float|int, compile=true|false, "
+                             "shards=N")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="0 binds an ephemeral port (printed on start)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard executors per model")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--queue-size", type=int, default=256,
+                        help="bounded backlog per model; admission control "
+                             "answers 503 past it")
+    parser.add_argument("--result-cache", type=int, default=0,
+                        metavar="ENTRIES",
+                        help="LRU result-cache entries per model (0 = off)")
+    parser.add_argument("--request-timeout-s", type=float, default=60.0)
+    parser.add_argument("--drain-timeout-s", type=float, default=30.0,
+                        help="max seconds close() waits for queued requests")
+    return parser
+
+
+def _flag(value: str) -> bool:
+    return value.lower() in ("1", "true", "yes", "on")
+
+
+def build_server(args: argparse.Namespace) -> NetServer:
+    """Construct and populate the :class:`NetServer` from parsed flags."""
+    net = NetServer(host=args.host, port=args.port)
+    for name, path, options in args.model:
+        net.add_model(
+            name, path,
+            n_shards=int(options.get("shards", args.shards)),
+            backend=args.backend,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_size=args.queue_size,
+            result_cache_entries=args.result_cache,
+            mode=options.get("mode"),
+            compile=_flag(options.get("compile", "false")),
+            request_timeout_s=args.request_timeout_s,
+        )
+    return net
+
+
+def main(argv=None) -> int:
+    """Parse flags, serve, drain on SIGTERM/SIGINT, exit 0."""
+    args = build_parser().parse_args(argv)
+    net = build_server(args)
+    stop = threading.Event()
+
+    def _drain(signum, frame):
+        print(f"\n[serve] signal {signal.Signals(signum).name}: draining...",
+              flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    net.start()
+    print(f"[serve] listening on {net.url} "
+          f"(models: {', '.join(sorted(net.model_names()))})", flush=True)
+    stop.wait()
+    net.close(timeout=args.drain_timeout_s)
+    print("[serve] drained, bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
