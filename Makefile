@@ -18,6 +18,9 @@
 #   make bench-compiler - compiled (fused + arena) vs interpreted execution
 #   make bench-netserver - HTTP front-end SLO benchmark (sustained + bursty +
 #                       saturation load against a 2-shard NetServer)
+#   make bench-reload - serving-lifecycle benchmark (rolling reload p99 vs
+#                       steady state, autoscaled vs fixed pool under
+#                       saturation, scale-up reaction time)
 #   make serve-demo   - end-to-end HTTP serving walkthrough
 #                       (examples/serve_http.py: mount, predict, metrics, drain)
 #   make docs-check   - fail on undocumented public APIs in the documented
@@ -29,7 +32,7 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler bench-netserver serve-demo docs-check install
+.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler bench-netserver bench-reload serve-demo docs-check install
 
 verify: test docs-check bench-smoke
 
@@ -46,7 +49,7 @@ coverage:
 	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 90 tests/engine tests/core -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py benchmarks/bench_netserver_slo.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py benchmarks/bench_netserver_slo.py benchmarks/bench_reload_autoscale.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
@@ -65,6 +68,9 @@ bench-compiler:
 
 bench-netserver:
 	$(PYTHON) benchmarks/bench_netserver_slo.py
+
+bench-reload:
+	$(PYTHON) benchmarks/bench_reload_autoscale.py
 
 serve-demo:
 	$(PYTHON) examples/serve_http.py

@@ -34,9 +34,12 @@ compiles that work out, at two granularities:
   :class:`PlanServer`: multi-model tenancy
   (``POST /v1/models/{name}/predict``), admission control (503 +
   ``Retry-After`` on saturated queues), per-request queue/compute latency
-  histograms (:class:`LatencyHistogram`) exported on ``GET /metrics``, and
-  a graceful drain on close; the JSON payload contract lives in
-  :mod:`repro.engine.wire`.
+  histograms (:class:`LatencyHistogram`) exported on ``GET /metrics``,
+  zero-downtime rolling artifact reloads (``POST
+  /v1/models/{name}/reload`` — probe-validated atomic pool swap with a
+  background drain), optional shard-pool autoscaling
+  (:class:`Autoscaler`, mounted via ``max_shards=``) and a graceful drain
+  on close; the JSON payload contract lives in :mod:`repro.engine.wire`.
 
 :func:`load_plan` accepts both artifact kinds (model archives carry a
 ``__manifest__`` entry, layer archives a ``__meta__`` entry).  The fast
@@ -61,14 +64,16 @@ from .plan import (ConvPlan, LinearPlan, PlanNotReadyError, compile_conv_plan,
                    load_plan as load_layer_plan, normalize_dtype, save_plan,
                    signature_ready)
 from .latency import LatencyHistogram
-from .netserver import EndpointCounters, ModelEndpoint, NetServer, Saturated
+from .netserver import (Autoscaler, EndpointCounters, ModelEndpoint,
+                        NetServer, Saturated)
 from .runner import InferenceRunner, PlanExecutor, RunnerStats
 from .scheduler import (DynamicBatcher, Request, RequestTiming,
                         SchedulerClosed, SchedulerStats)
 from .server import (LRUCache, PlanServer, ServerClosed, ShardDied,
                      clear_plan_cache, load_plan_cached)
-from .wire import (BadRequest, PayloadTooLarge, UnprocessableInput, WireError,
-                   decode_predict_request, encode_error,
+from .wire import (BadRequest, PayloadTooLarge, ReloadRejected,
+                   UnprocessableInput, WireError, decode_predict_request,
+                   decode_reload_request, encode_error,
                    encode_predict_response)
 
 __all__ = [
@@ -87,9 +92,12 @@ __all__ = [
     "PlanServer", "ServerClosed", "ShardDied", "LRUCache",
     "load_plan_cached", "clear_plan_cache",
     "NetServer", "ModelEndpoint", "EndpointCounters", "Saturated",
+    "Autoscaler",
     "LatencyHistogram",
     "WireError", "BadRequest", "PayloadTooLarge", "UnprocessableInput",
-    "decode_predict_request", "encode_predict_response", "encode_error",
+    "ReloadRejected",
+    "decode_predict_request", "decode_reload_request",
+    "encode_predict_response", "encode_error",
     "RequantConstants", "compile_requant", "requantize",
     "quantize_multiplier", "quantize_multipliers",
 ]

@@ -33,7 +33,18 @@ GET      ``/healthz``                      liveness + mounted model names
 GET      ``/metrics``                      full serving metrics document
 POST     ``/v1/models/{name}/predict``     run a ``(N, *sample)`` input batch
 POST     ``/v1/models/{name}/restart``     replace the model's shard pool
+POST     ``/v1/models/{name}/reload``      zero-downtime rolling artifact swap
 =======  ================================  =====================================
+
+Serving lifecycle: ``restart`` is the blunt recovery tool (old pool closed
+in place), ``reload`` is the zero-downtime path — the replacement artifact
+is loaded and probe-validated *before* an atomic swap under the admission
+lock, the old pool drains in the background (no accepted request dropped,
+bit-identical responses across the swap), and a bad artifact is refused
+with 409 while the old pool keeps serving.  Mounting a model with
+``max_shards=N`` attaches an :class:`Autoscaler` that grows the shard pool
+under queue pressure and shrinks it back when idle; scale events and the
+artifact/reload version are visible in ``/metrics``.
 
 Error surface: 400 broken body, 404 unknown route/model, 411 missing
 length, 413 oversized body or batch, 422 well-formed input the model cannot
@@ -68,7 +79,8 @@ from . import wire
 from .latency import LatencyHistogram
 from .server import PlanServer, ServerClosed
 
-__all__ = ["NetServer", "ModelEndpoint", "EndpointCounters", "Saturated"]
+__all__ = ["NetServer", "ModelEndpoint", "EndpointCounters", "Saturated",
+           "Autoscaler"]
 
 
 class Saturated(RuntimeError):
@@ -87,14 +99,19 @@ class EndpointCounters:
     exactly one of *accepted* or *rejected*, and every accepted request
     eventually lands in *completed* or *failed* — is what makes the counters
     trustworthy for capacity math; ``tests/engine/test_netserver_load.py``
-    asserts it over a live socket.  ``bad_requests`` counts bodies refused
-    before admission (400/413/422) and is deliberately outside the
-    conservation sum.
+    asserts it over a live socket.  The same sum holds at sample
+    granularity (``samples_offered == samples_accepted +
+    samples_rejected``): a request whose submission fails partway is
+    withdrawn and counted wholly rejected, never half-accepted.
+    ``bad_requests`` counts bodies refused before admission (400/413/422)
+    and is deliberately outside the conservation sum, as are the lifecycle
+    counters (``restarts``, ``reloads``, ``scale_ups``, ``scale_downs``).
     """
 
     FIELDS = ("offered", "accepted", "rejected", "completed", "failed",
               "bad_requests", "samples_offered", "samples_accepted",
-              "cache_hits", "restarts")
+              "samples_rejected", "cache_hits", "restarts", "reloads",
+              "scale_ups", "scale_downs")
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -113,23 +130,45 @@ class EndpointCounters:
             return {field: getattr(self, field) for field in self.FIELDS}
 
 
+def _stat_artifact(source) -> Optional[dict]:
+    """The artifact identity of a path-backed plan source, ``None`` otherwise.
+
+    Mtime and size are the same keys :func:`~repro.engine.server.load_plan_cached`
+    caches on, so two ``/metrics`` readings with equal artifact blocks are
+    guaranteed to describe the same parsed plan bytes.
+    """
+    if not isinstance(source, (str, os.PathLike)):
+        return None
+    path = os.path.abspath(os.fspath(source))
+    stat = os.stat(path)
+    return {"path": path, "mtime_ns": stat.st_mtime_ns,
+            "size_bytes": stat.st_size}
+
+
 class ModelEndpoint:
     """One mounted model: a :class:`PlanServer` plus wire-side accounting.
 
     Constructed through :meth:`NetServer.add_model`.  The endpoint owns
     admission control (one lock serializes capacity checks against submits,
     so an admitted request never blocks on a full queue), the per-request
-    latency histograms, and the restart machinery (a fresh shard pool from
-    the retained plan source — the recovery path when process shards die).
+    latency histograms, and the serving-lifecycle machinery: restart (a
+    fresh shard pool from the retained plan source — the recovery path when
+    process shards die), rolling :meth:`reload` (probe-validated atomic
+    swap to a new artifact with a background drain of the old pool), and —
+    when ``max_shards`` is set — the :class:`Autoscaler` controller thread
+    that grows and shrinks the shard pool with load.
     """
 
     def __init__(self, name: str, plan_source, server_kwargs: dict,
                  max_request_samples: Optional[int] = None,
-                 request_timeout_s: float = 60.0):
+                 request_timeout_s: float = 60.0,
+                 max_shards: Optional[int] = None,
+                 autoscale: Optional[dict] = None):
         self.name = name
         self._plan_source = plan_source
         self._server_kwargs = dict(server_kwargs)
         self.server = PlanServer(plan_source, **self._server_kwargs)
+        self._artifact = _stat_artifact(plan_source)
         queue_size = self.server.batcher.queue_size
         self.max_request_samples = min(max_request_samples or queue_size,
                                        queue_size)
@@ -141,7 +180,14 @@ class ModelEndpoint:
             "compute": LatencyHistogram(),
         }
         self._admission = threading.Lock()
+        self._probe_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
         self._known_shapes: set = set()
+        self._drains: list = []
+        self.autoscaler: Optional[Autoscaler] = None
+        if max_shards is not None:
+            self.autoscaler = Autoscaler(self, max_shards=max_shards,
+                                         **(autoscale or {}))
 
     # ------------------------------------------------------------------ #
     def _validate_sample_shape(self, batch: np.ndarray) -> None:
@@ -152,18 +198,28 @@ class ModelEndpoint:
         wrong spatial size or channel count fails *here*, with the plan's
         own error message, instead of poisoning a shard mid-batch.  Each
         distinct accepted shape is probed once and then remembered.
+
+        Probes are serialized under one lock: the probe executes on the
+        endpoint's *shared* plan (possibly compiled and arena-backed, and
+        ``plan.execute`` is only safe concurrently when each caller owns
+        its workspace — which the probe does not), so two handler threads
+        must never run it at the same time.  The remembered-shape fast path
+        stays lock-free.
         """
         shape = tuple(int(dim) for dim in batch.shape[1:])
         if shape in self._known_shapes:
             return
-        probe = np.zeros((0,) + shape, dtype=self.server.plan.np_dtype)
-        try:
-            self.server.plan.execute(probe)
-        except Exception as error:   # noqa: BLE001 — classified as 422
-            raise wire.UnprocessableInput(
-                f"model {self.name!r} cannot execute sample shape "
-                f"{shape}: {type(error).__name__}: {error}") from error
-        self._known_shapes.add(shape)
+        with self._probe_lock:
+            if shape in self._known_shapes:   # probed while we waited
+                return
+            probe = np.zeros((0,) + shape, dtype=self.server.plan.np_dtype)
+            try:
+                self.server.plan.execute(probe)
+            except Exception as error:   # noqa: BLE001 — classified as 422
+                raise wire.UnprocessableInput(
+                    f"model {self.name!r} cannot execute sample shape "
+                    f"{shape}: {type(error).__name__}: {error}") from error
+            self._known_shapes.add(shape)
 
     def _admit(self, batch: np.ndarray) -> List:
         """Classify the request as accepted (submitting it) or rejected.
@@ -174,13 +230,19 @@ class ModelEndpoint:
         drains concurrently.  Raises :class:`Saturated` (503) on a full
         queue and :class:`ServerClosed` (503) while shutting down or after
         every shard died.
+
+        Conservation holds at request *and* sample level through every exit:
+        a submission that fails partway (shards dying mid-call) is withdrawn
+        by :meth:`PlanServer.submit_many` itself, so the whole request is
+        counted rejected — never half-accepted with reader-less samples
+        left executing.
         """
         n = int(batch.shape[0])
         batcher = self.server.batcher
         with self._admission:
             self.counters.add(offered=1, samples_offered=n)
             if batcher.pending + n > batcher.queue_size:
-                self.counters.add(rejected=1)
+                self.counters.add(rejected=1, samples_rejected=n)
                 raise Saturated(
                     f"model {self.name!r} queue is full "
                     f"({batcher.pending}/{batcher.queue_size} pending, "
@@ -189,8 +251,18 @@ class ModelEndpoint:
             try:
                 futures = self.server.submit_many(batch, timeout=0.0)
             except ServerClosed:
-                self.counters.add(rejected=1)
+                self.counters.add(rejected=1, samples_rejected=n)
                 raise
+            except TimeoutError as error:
+                # capacity vanished despite the check (e.g. the pool was
+                # swapped or a shard died mid-submit); the partial prefix
+                # was withdrawn — classify as a clean saturation reject
+                self.counters.add(rejected=1, samples_rejected=n)
+                raise Saturated(
+                    f"model {self.name!r} could not take all {n} samples "
+                    "atomically; retry shortly",
+                    retry_after_s=max(0.05, 2.0 * batcher.max_wait),
+                ) from error
             self.counters.add(accepted=1, samples_accepted=n)
         return futures
 
@@ -213,11 +285,17 @@ class ModelEndpoint:
             self.counters.add(bad_requests=1)
             raise
         futures = self._admit(batch)
+        # one shared deadline for the whole request: N queued samples used
+        # to get request_timeout_s *each*, letting a request overstay its
+        # budget N-fold before the 504
+        deadline = time.monotonic() + self.request_timeout_s
         try:
-            rows = [future.result(timeout=self.request_timeout_s)
-                    for future in futures]
+            rows = [future.result(
+                timeout=max(0.0, deadline - time.monotonic()))
+                for future in futures]
         except Exception:
             self.counters.add(failed=1)
+            self.server._abandon(futures)   # free the still-queued tail
             raise
         timings = [getattr(future, "timing", None) for future in futures]
         known = [timing for timing in timings if timing is not None]
@@ -245,40 +323,225 @@ class ModelEndpoint:
         nothing left to drain) and a new one is built with the original
         construction arguments.  In-flight requests against the old pool
         fail with their pool's error; requests admitted after the swap are
-        served by the new shards.
+        served by the new shards.  For a zero-downtime swap to a *healthy*
+        pool use :meth:`reload` instead.
         """
         with self._admission:
             old = self.server
             self.server = PlanServer(self._plan_source, **self._server_kwargs)
+            self._artifact = _stat_artifact(self._plan_source)
+            with self._probe_lock:
+                self._known_shapes.clear()   # the rebuilt plan may differ
             self.counters.add(restarts=1)
         try:
             old.close(timeout=10.0)
         except TimeoutError:
             pass   # old pool keeps draining in the background; new pool serves
 
+    def _probe_validate(self, server: PlanServer) -> None:
+        """Run every shape this endpoint has served through a fresh pool.
+
+        Zero-row probes, so validation is free; a replacement artifact that
+        cannot execute what live clients are sending is refused *before*
+        any swap."""
+        with self._probe_lock:
+            shapes = sorted(self._known_shapes)
+        for shape in shapes:
+            probe = np.zeros((0,) + shape, dtype=server.plan.np_dtype)
+            server.plan.execute(probe)
+
+    def reload(self, path: Optional[str] = None) -> dict:
+        """Zero-downtime rolling swap of the serving pool (and artifact).
+
+        Builds a completely fresh :class:`PlanServer` from ``path`` (or the
+        retained mount source — re-stat'ed, so a rewritten ``.npz`` at the
+        same path loads its new bytes through the plan cache), validates it
+        with zero-row probes of every sample shape this endpoint has
+        served, and only then swaps it in **atomically under the admission
+        lock** — every request is admitted into exactly one pool, before or
+        after the swap, never between.  The old pool drains in a background
+        thread: requests it accepted hold futures into it and complete
+        bit-identically; nothing accepted is ever dropped.  The probe-shape
+        cache is invalidated (the new plan revalidates from scratch) and
+        the ``/metrics`` plan block is re-versioned (artifact mtime/size +
+        reload counter).
+
+        A reload that fails — unreadable or corrupt artifact, probe
+        failure — raises :class:`~repro.engine.wire.ReloadRejected` (409)
+        and leaves the serving pool untouched.
+        """
+        with self._reload_lock:             # swaps are strictly sequential
+            source = self._plan_source if path is None else path
+            label = (source if isinstance(source, (str, os.PathLike))
+                     else type(source).__name__)
+            try:
+                artifact = _stat_artifact(source)
+                fresh = PlanServer(source, **self._server_kwargs)
+            except Exception as error:   # noqa: BLE001 — classified as 409
+                raise wire.ReloadRejected(
+                    f"model {self.name!r} reload from {label!r} failed "
+                    f"before any swap: {type(error).__name__}: {error}; "
+                    "the current pool keeps serving") from error
+            try:
+                self._probe_validate(fresh)
+            except Exception as error:   # noqa: BLE001 — classified as 409
+                fresh.close()
+                raise wire.ReloadRejected(
+                    f"model {self.name!r} reload from {label!r} failed "
+                    f"probe validation: {type(error).__name__}: {error}; "
+                    "the current pool keeps serving") from error
+            with self._admission:
+                old = self.server
+                self.server = fresh
+                self._plan_source = source
+                self._artifact = artifact
+                with self._probe_lock:
+                    self._known_shapes.clear()
+                self.counters.add(reloads=1)
+            # drain the old pool off the request path: its accepted
+            # requests resolve through their futures as the workers finish
+            drain = threading.Thread(target=old.close,
+                                     name=f"drain-{self.name}", daemon=True)
+            drain.start()
+            self._drains = [d for d in self._drains if d.is_alive()]
+            self._drains.append(drain)
+            return {"model": self.name, "reloaded": True,
+                    "reloads": self.counters.to_dict()["reloads"],
+                    "n_shards": fresh.n_shards, "artifact": artifact}
+
     def close(self, timeout: Optional[float] = None) -> None:
-        """Drain and stop the underlying :class:`PlanServer`."""
+        """Stop the autoscaler, drain the pool, join pending reload drains."""
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         self.server.close(timeout=timeout)
+        for drain in self._drains:
+            drain.join(timeout=10.0)
 
     def metrics(self) -> dict:
         """This endpoint's full metrics document (one entry of ``/metrics``)."""
         plan = self.server.plan
+        counters = self.counters.to_dict()
         return {
             "plan": {
                 "name": getattr(plan, "name", "") or self.name,
                 "dtype": str(getattr(plan, "np_dtype", "")),
                 "mode": getattr(plan, "mode", "float"),
                 "compiled": type(plan).__name__ == "CompiledPlan",
+                # a version block that changes iff the served bytes can:
+                # artifact identity (stat keys of the plan cache) plus the
+                # lifetime reload count of this endpoint
+                "version": {
+                    "reloads": counters["reloads"],
+                    "artifact": self._artifact,
+                },
             },
             "admission": {
                 "queue_size": self.server.batcher.queue_size,
                 "pending": self.server.batcher.pending,
                 "max_request_samples": self.max_request_samples,
             },
-            "requests": self.counters.to_dict(),
+            "autoscaler": (self.autoscaler.to_dict()
+                           if self.autoscaler is not None
+                           else {"enabled": False}),
+            "requests": counters,
             "latency": {kind: histogram.to_dict()
                         for kind, histogram in self.latency.items()},
             "serving": self.server.stats_report(),
+        }
+
+
+class Autoscaler:
+    """Per-endpoint shard-pool controller: grow on queue pressure, shrink on idle.
+
+    A daemon thread samples the endpoint's batcher every ``interval_s`` and
+    applies two rules:
+
+    * **grow** — pending queue depth at or above ``up_queue_frac`` of the
+      queue bound (the backlog is building faster than the pool drains it)
+      adds one shard, up to ``max_shards``;
+    * **shrink** — no pending work and no new request for ``idle_s``
+      retires one shard, down to the pool's mounted size (``min_shards``).
+
+    Each decision is followed by a ``cooldown_s`` hold so the effect of the
+    last action is observed before the next one (no thrashing).  Scale
+    events land in the endpoint counters (``scale_ups``/``scale_downs``)
+    and the controller re-reads ``endpoint.server`` every tick, so it
+    follows the pool across restarts and rolling reloads.  Stop with
+    :meth:`stop`; ticks that race a pool swap or shutdown are skipped, not
+    fatal.
+    """
+
+    def __init__(self, endpoint: ModelEndpoint, max_shards: int,
+                 interval_s: float = 0.05, up_queue_frac: float = 0.5,
+                 idle_s: float = 2.0, cooldown_s: float = 0.25):
+        if max_shards < endpoint.server.n_shards:
+            raise ValueError(
+                f"max_shards={max_shards} is below the mounted pool size "
+                f"{endpoint.server.n_shards}")
+        if not 0.0 < up_queue_frac <= 1.0:
+            raise ValueError("up_queue_frac must be in (0, 1]")
+        self.endpoint = endpoint
+        self.max_shards = int(max_shards)
+        self.min_shards = endpoint.server.n_shards
+        self.interval_s = float(interval_s)
+        self.up_queue_frac = float(up_queue_frac)
+        self.idle_s = float(idle_s)
+        self.cooldown_s = float(cooldown_s)
+        self.errors = 0
+        self._last_busy = time.monotonic()
+        self._last_requests: Optional[int] = None
+        self._hold_until = 0.0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"autoscale-{endpoint.name}")
+        self._thread.start()
+
+    def _tick(self, now: float) -> None:
+        server = self.endpoint.server       # re-read: reloads swap the pool
+        batcher = server.batcher
+        pending = batcher.pending
+        requests = batcher.stats_snapshot().requests
+        if pending > 0 or requests != self._last_requests:
+            self._last_busy = now
+        self._last_requests = requests
+        if now < self._hold_until:
+            return
+        n_shards = server.n_shards
+        high_water = max(1, int(self.up_queue_frac * batcher.queue_size))
+        if pending >= high_water and n_shards < self.max_shards:
+            server.add_shard()
+            self.endpoint.counters.add(scale_ups=1)
+            self._hold_until = now + self.cooldown_s
+        elif (n_shards > self.min_shards
+              and now - self._last_busy >= self.idle_s):
+            server.retire_shard()
+            self.endpoint.counters.add(scale_downs=1)
+            self._hold_until = now + self.cooldown_s
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._tick(time.monotonic())
+            except Exception:   # noqa: BLE001 — raced a swap/shutdown
+                self.errors += 1
+
+    def stop(self) -> None:
+        """Halt the controller thread (idempotent; joins it briefly)."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def to_dict(self) -> dict:
+        """The ``/metrics`` autoscaler block: configuration + liveness."""
+        return {
+            "enabled": True,
+            "alive": self._thread.is_alive(),
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "interval_s": self.interval_s,
+            "up_queue_frac": self.up_queue_frac,
+            "idle_s": self.idle_s,
+            "cooldown_s": self.cooldown_s,
+            "errors": self.errors,
         }
 
 
@@ -396,12 +659,23 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error(404, "not found", f"no route for GET {path}")
 
+    def _read_optional_body(self) -> Optional[bytes]:
+        """Like :meth:`_read_body` but a missing Content-Length means empty.
+
+        Lifecycle requests (reload) take an optional JSON body; forcing a
+        411 on the bare-POST common case would be protocol pedantry.  The
+        size cap still applies.
+        """
+        if self.headers.get("Content-Length") is None:
+            return b""
+        return self._read_body()
+
     def do_POST(self):   # noqa: N802 — stdlib naming
-        """Serve ``/v1/models/{name}/predict`` and ``.../restart``."""
+        """Serve ``/v1/models/{name}/`` ``predict`` / ``restart`` / ``reload``."""
         path = urlparse(self.path).path
         parts = [part for part in path.split("/") if part]
         if len(parts) != 4 or parts[:2] != ["v1", "models"] \
-                or parts[3] not in ("predict", "restart"):
+                or parts[3] not in ("predict", "restart", "reload"):
             self._send_error(404, "not found", f"no route for POST {path}")
             return
         name, action = parts[2], parts[3]
@@ -416,6 +690,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, json.dumps(
                 {"model": name, "restarted": True,
                  "n_shards": endpoint.server.n_shards}).encode())
+            return
+        if action == "reload":
+            body = self._read_optional_body()
+            if body is None:
+                return
+            try:
+                info = endpoint.reload(wire.decode_reload_request(body))
+            except wire.WireError as error:   # 400 bad body / 409 rejected
+                self._send_error(error.status, error.reason, error.detail)
+                return
+            self._send_json(200, json.dumps(info).encode())
             return
         body = self._read_body()
         if body is None:
@@ -515,6 +800,8 @@ class NetServer:
     def add_model(self, name: str, plan, *,
                   max_request_samples: Optional[int] = None,
                   request_timeout_s: float = 60.0,
+                  max_shards: Optional[int] = None,
+                  autoscale: Optional[dict] = None,
                   **server_kwargs) -> ModelEndpoint:
         """Mount a model at ``/v1/models/{name}/predict``.
 
@@ -528,22 +815,23 @@ class NetServer:
         (at most the queue size — a request that can never be admitted is
         a 413, not an eternal 503); ``request_timeout_s`` bounds how long a
         handler waits for results before answering 504.
+
+        ``max_shards`` enables autoscaling: the pool starts at
+        ``n_shards`` and an :class:`Autoscaler` grows it up to
+        ``max_shards`` under queue pressure, shrinking back on sustained
+        idle; ``autoscale`` tunes the controller (``interval_s``,
+        ``up_queue_frac``, ``idle_s``, ``cooldown_s``).
         """
         if not name or any(ch in name for ch in "/ \t\n"):
             raise ValueError(f"model name {name!r} must be non-empty and "
                              "contain no slashes or whitespace")
-        if server_kwargs.pop("compile", False):
-            if isinstance(plan, (str, os.PathLike)):
-                from .server import load_plan_cached
-                plan = load_plan_cached(
-                    plan, mode=server_kwargs.get("mode") or "float",
-                    compile=True)
-            elif hasattr(plan, "compile"):
-                plan = plan.compile()
-            # anything else (e.g. an already-compiled plan) serves as-is
+        # `compile` stays inside server_kwargs: the endpoint retains the
+        # *path* as its plan source, so restart/reload rebuilds re-resolve
+        # the artifact (new bytes included) and still come up compiled
         endpoint = ModelEndpoint(name, plan, server_kwargs,
                                  max_request_samples=max_request_samples,
-                                 request_timeout_s=request_timeout_s)
+                                 request_timeout_s=request_timeout_s,
+                                 max_shards=max_shards, autoscale=autoscale)
         with self._endpoints_lock:
             if name in self._endpoints:
                 endpoint.close()

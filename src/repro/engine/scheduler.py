@@ -101,6 +101,14 @@ class SchedulerStats:
             "queue_high_water": self.queue_high_water,
         }
 
+    def copy(self) -> "SchedulerStats":
+        """A field-by-field copy (callers must hold the batcher lock)."""
+        return SchedulerStats(requests=self.requests, batches=self.batches,
+                              batched_samples=self.batched_samples,
+                              max_batch_seen=self.max_batch_seen,
+                              timeout_flushes=self.timeout_flushes,
+                              queue_high_water=self.queue_high_water)
+
 
 class DynamicBatcher:
     """Bounded FIFO request queue with size- and deadline-triggered batching.
@@ -192,16 +200,25 @@ class DynamicBatcher:
             self._work.notify()   # leftover work: wake another consumer now
         return batch
 
-    def next_batch(self) -> Optional[List[Request]]:
+    def next_batch(self, stop: Optional[threading.Event] = None
+                   ) -> Optional[List[Request]]:
         """Block until a batch is ready; ``None`` once closed and drained.
 
         A batch is ready when ``max_batch`` requests are pending, when the
         oldest pending request's ``max_wait_ms`` deadline has passed, or when
         the batcher is closed (remaining requests leave in final batches so
         close never drops work).
+
+        ``stop`` makes the wait interruptible for one consumer: when the
+        event is set, the call returns ``[]`` (no batch claimed) instead of
+        blocking further — how a retiring shard worker leaves the pool
+        without waiting for traffic.  Pair it with :meth:`kick`, which wakes
+        every blocked consumer so the event is observed promptly.
         """
         with self._lock:
             while True:
+                if stop is not None and stop.is_set():
+                    return []
                 if len(self._pending) >= self.max_batch:
                     return self._pop_batch(timed_out=False)
                 if self._pending:
@@ -217,7 +234,25 @@ class DynamicBatcher:
                         return None
                     self._work.wait()
 
+    def kick(self) -> None:
+        """Wake every blocked consumer to re-check its ``stop`` event."""
+        with self._lock:
+            self._work.notify_all()
+
     # ------------------------------------------------------------------ #
+    def stats_snapshot(self) -> SchedulerStats:
+        """A mutually consistent copy of :attr:`stats`.
+
+        Counters update together under the batcher lock (``batches`` and
+        ``batched_samples`` move in one :meth:`_pop_batch`); reading them
+        without the lock can observe a half-applied update — a torn
+        ``/metrics`` report.  Snapshotting under the lock is the only read
+        that preserves the invariants (``batched_samples <= requests``,
+        ``mean_batch <= max_batch`` ...).
+        """
+        with self._lock:
+            return self.stats.copy()
+
     @property
     def pending(self) -> int:
         """Number of requests queued but not yet dispatched."""

@@ -117,6 +117,8 @@ class LRUCache:
 
 
 _PLAN_CACHE = LRUCache(max_entries=8)
+_PLAN_FLIGHTS: dict = {}                 # cache key -> in-flight parse lock
+_PLAN_FLIGHTS_LOCK = threading.Lock()
 
 
 def load_plan_cached(path, mode: str = "float", compile: bool = False):
@@ -132,14 +134,31 @@ def load_plan_cached(path, mode: str = "float", compile: bool = False):
     and the server's shard pool — safe).  ``compile=True`` caches the
     scheduled :class:`~repro.engine.compiler.CompiledPlan` executor for
     model-plan artifacts (see :func:`~repro.engine.model_plan.load_plan`).
+
+    Misses are **single-flight**: concurrent callers of the same key share
+    one parse and receive the same plan object, instead of each paying the
+    disk parse and handing out distinct plans for one cache key (distinct
+    plans would defeat the cache and double the resident arrays).  A failed
+    parse releases the key so the next caller retries cleanly.
     """
     path = os.path.abspath(os.fspath(path))
     stat = os.stat(path)
     key = (path, stat.st_mtime_ns, stat.st_size, mode, bool(compile))
     plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = load_plan(path, mode=mode, compile=compile)
-        _PLAN_CACHE.put(key, plan)
+    if plan is not None:
+        return plan
+    with _PLAN_FLIGHTS_LOCK:
+        flight = _PLAN_FLIGHTS.setdefault(key, threading.Lock())
+    with flight:
+        # late arrivals find the leader's plan here and skip the parse
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            try:
+                plan = load_plan(path, mode=mode, compile=compile)
+                _PLAN_CACHE.put(key, plan)
+            finally:
+                with _PLAN_FLIGHTS_LOCK:
+                    _PLAN_FLIGHTS.pop(key, None)
     return plan
 
 
@@ -261,6 +280,21 @@ class _ProcessShard:
         self._conn.close()
 
 
+class _ShardSlot:
+    """One pool slot: a shard executor, its worker thread, its retire flag.
+
+    The slot is the unit the pool grows and shrinks by — the shard executes
+    batches, the worker thread pulls them from the shared batcher, and the
+    ``retire`` event asks the worker to leave the pool at the next batch
+    boundary (no batch is ever abandoned mid-execution).
+    """
+
+    def __init__(self, shard):
+        self.shard = shard
+        self.worker: Optional[threading.Thread] = None
+        self.retire = threading.Event()
+
+
 # --------------------------------------------------------------------------- #
 # the server
 # --------------------------------------------------------------------------- #
@@ -296,6 +330,15 @@ class PlanServer:
         cache key; an in-memory plan is switched via ``plan.set_mode`` (mode
         is plan state, shared with other consumers of the same object).
         ``None`` (default) serves the plan in its current mode.
+    compile:
+        Serve the scheduled (fused + arena) executor instead of the
+        interpreted plan.  Paths resolve through :func:`load_plan_cached`
+        with ``compile`` in the cache key; an in-memory plan is compiled
+        via ``plan.compile()`` when it supports it (an already-compiled
+        plan serves as-is).  Keeping this a *construction* argument — not a
+        pre-converted plan object — is what lets lifecycle rebuilds
+        (restart, rolling reload) re-resolve the artifact path and still
+        come up compiled.
 
     Use as a context manager, or call :meth:`close` — close drains queued
     requests before the workers exit, so no accepted request is dropped.
@@ -304,16 +347,21 @@ class PlanServer:
     def __init__(self, plan, n_shards: int = 2, backend: str = "thread",
                  max_batch: int = 16, max_wait_ms: float = 2.0,
                  queue_size: int = 256, result_cache_entries: int = 0,
-                 collect_timings: bool = True, mode: Optional[str] = None):
+                 collect_timings: bool = True, mode: Optional[str] = None,
+                 compile: bool = False):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if backend not in ("thread", "process"):
             raise ValueError(f"unknown backend {backend!r}; "
                              "expected 'thread' or 'process'")
         if isinstance(plan, (str, os.PathLike)):
-            plan = load_plan_cached(plan, mode=mode or "float")
-        elif mode is not None:
-            plan.set_mode(mode)
+            plan = load_plan_cached(plan, mode=mode or "float",
+                                    compile=compile)
+        else:
+            if mode is not None:
+                plan.set_mode(mode)
+            if compile and hasattr(plan, "compile"):
+                plan = plan.compile()
         self.plan = plan
         self.backend = backend
         self.batcher = DynamicBatcher(max_batch=max_batch,
@@ -324,25 +372,50 @@ class PlanServer:
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._closed = False
-        self._retire_lock = threading.Lock()
-        self._live_workers = n_shards
-        shard_cls = _ThreadShard if backend == "thread" else _ProcessShard
-        self._shards = [shard_cls(plan, collect_timings)
-                        for _ in range(n_shards)]
-        self._workers = [
-            threading.Thread(target=self._worker_loop, args=(shard,),
-                             name=f"plan-server-shard-{i}", daemon=True)
-            for i, shard in enumerate(self._shards)]
-        for worker in self._workers:
-            worker.start()
+        self._collect_timings = collect_timings
+        self._shard_cls = _ThreadShard if backend == "thread" else _ProcessShard
+        self._pool_lock = threading.Lock()
+        self._slots: List[_ShardSlot] = []
+        self._drained_stats = RunnerStats()   # stats of retired/dead shards
+        self._shards_added = 0
+        self._shards_retired = 0
+        self._shards_died = 0
+        for _ in range(n_shards):
+            self._spawn_shard()
 
     # ------------------------------------------------------------------ #
     # worker side
     # ------------------------------------------------------------------ #
-    def _worker_loop(self, shard) -> None:
+    def _spawn_shard(self) -> _ShardSlot:
+        """Build one shard + worker and put it into rotation (pool lock held
+        or construction-time single-threaded)."""
+        slot = _ShardSlot(self._shard_cls(self.plan, self._collect_timings))
+        with self._pool_lock:
+            if self._closed:
+                slot.shard.close()
+                raise ServerClosed("server is closed")
+            index = self._shards_added
+            self._shards_added += 1
+            self._slots.append(slot)
+        slot.worker = threading.Thread(target=self._worker_loop, args=(slot,),
+                                       name=f"plan-server-shard-{index}",
+                                       daemon=True)
+        slot.worker.start()
+        return slot
+
+    def _worker_loop(self, slot: _ShardSlot) -> None:
+        shard = slot.shard
         while True:
-            batch = self.batcher.next_batch()
+            batch = self.batcher.next_batch(stop=slot.retire)
             if batch is None:
+                return                    # closed and drained; close() cleans up
+            if not batch:                 # woken to retire, no batch claimed
+                with self._pool_lock:
+                    alone = all(other is slot for other in self._slots)
+                if alone and not self._closed:
+                    slot.retire.clear()   # raced a dying sibling: the pool
+                    continue              # must keep its last shard serving
+                self._leave_pool(slot, died=False)
                 return
             # claim each future; drop requests the client cancelled while
             # they sat in the queue (a cancelled future rejects set_result)
@@ -367,7 +440,7 @@ class PlanServer:
                     if not request.future.done():
                         self._stamp_timing(request, completed)
                         request.future.set_exception(error)
-                self._retire_worker(error)
+                self._leave_pool(slot, died=True, error=error)
                 return
             except Exception as error:   # noqa: BLE001 — fail the whole batch
                 completed = time.monotonic()
@@ -392,18 +465,28 @@ class PlanServer:
             queue_s=max(0.0, dispatched - request.arrival),
             compute_s=max(0.0, completed - dispatched))
 
-    def _retire_worker(self, error: Exception) -> None:
-        """Take a dead shard's worker out of rotation; keep the rest serving.
+    def _leave_pool(self, slot: _ShardSlot, died: bool,
+                    error: Optional[Exception] = None) -> None:
+        """Take one shard out of rotation; keep the rest serving.
 
-        The dead shard stops pulling batches (so it can no longer poison the
-        shared queue); surviving shards keep draining it.  When the last
-        shard dies the server closes itself and fails every queued request
-        with :class:`ShardDied` instead of letting callers hang.
+        The leaving shard stops pulling batches (a dead one can no longer
+        poison the shared queue); its final stats fold into the drained
+        accumulator so server totals stay monotonic across scale-downs.
+        When the *last* shard dies the server closes itself and fails every
+        queued request with :class:`ShardDied` instead of letting callers
+        hang.
         """
-        with self._retire_lock:
-            self._live_workers -= 1
-            last_one = self._live_workers == 0
-        if not last_one:
+        with self._pool_lock:
+            if slot in self._slots:
+                self._slots.remove(slot)
+            self._drained_stats.merge(slot.shard.stats_snapshot())
+            if died:
+                self._shards_died += 1
+            else:
+                self._shards_retired += 1
+            pool_empty = not self._slots
+        slot.shard.close()
+        if not pool_empty:
             return
         self._closed = True
         self.batcher.close()
@@ -417,12 +500,60 @@ class PlanServer:
                         f"all shards died; last error: {error}"))
 
     # ------------------------------------------------------------------ #
+    # pool scaling
+    # ------------------------------------------------------------------ #
+    def add_shard(self) -> int:
+        """Grow the pool by one shard while serving; returns the new size.
+
+        The new worker joins the existing batcher immediately, so queued
+        requests start landing on it without any pause in service.  Raises
+        :class:`ServerClosed` on a closed (or all-shards-dead) server.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        self._spawn_shard()
+        return self.n_shards
+
+    def retire_shard(self, wait: bool = False,
+                     timeout: Optional[float] = None) -> int:
+        """Shrink the pool by one shard without dropping any request.
+
+        Marks one live shard for retirement and wakes the workers; the
+        marked worker leaves at its next batch boundary (an executing batch
+        always completes — accepted requests are never abandoned).  The
+        leave is asynchronous unless ``wait=True`` joins the worker (bounded
+        by ``timeout``).  Returns the pool size still in rotation; refuses
+        to retire the last shard (:class:`ValueError`).
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            live = [slot for slot in self._slots if not slot.retire.is_set()]
+            if len(live) <= 1:
+                raise ValueError("cannot retire the last shard of the pool")
+            slot = live[-1]
+            slot.retire.set()
+            remaining = len(live) - 1
+        self.batcher.kick()
+        if wait:
+            slot.worker.join(timeout)
+        return remaining
+
+    # ------------------------------------------------------------------ #
     # producer side
     # ------------------------------------------------------------------ #
     @property
     def n_shards(self) -> int:
-        """Number of worker shards in the pool."""
-        return len(self._shards)
+        """Number of worker shards in rotation (retiring shards excluded)."""
+        with self._pool_lock:
+            return sum(1 for slot in self._slots
+                       if not slot.retire.is_set())
+
+    @property
+    def _shards(self) -> List:
+        """The live shard executors (test/diagnostic hook, order = spawn)."""
+        with self._pool_lock:
+            return [slot.shard for slot in self._slots]
 
     def submit(self, sample: np.ndarray,
                timeout: Optional[float] = None) -> Future:
@@ -458,10 +589,42 @@ class PlanServer:
             raise ServerClosed("server is closed") from error
         return future
 
+    @staticmethod
+    def _abandon(futures: List[Future]) -> int:
+        """Withdraw a partially-submitted prefix; returns how many cancelled.
+
+        Still-queued futures cancel outright (the worker loop drops
+        cancelled requests before batching).  Futures a shard already
+        claimed cannot be cancelled; a done-callback marks their eventual
+        outcome observed so no enqueued work resolves reader-less.  Never
+        blocks — safe to call under the endpoint admission lock.
+        """
+        cancelled = 0
+        for future in futures:
+            if future.cancel():
+                cancelled += 1
+            else:
+                future.add_done_callback(lambda f: f.exception())
+        return cancelled
+
     def submit_many(self, samples: Iterable[np.ndarray],
                     timeout: Optional[float] = None) -> List[Future]:
-        """Queue each sample of an iterable; futures come back in input order."""
-        return [self.submit(sample, timeout=timeout) for sample in samples]
+        """Queue each sample of an iterable; futures come back in input order.
+
+        All-or-nothing: when a submit fails mid-iteration (backpressure
+        timeout, server closing), the already-enqueued prefix is withdrawn
+        via :meth:`_abandon` before the error propagates — the caller never
+        leaks accepted-but-unreadable work, and sample-level accounting can
+        treat the whole call as rejected.
+        """
+        futures: List[Future] = []
+        try:
+            for sample in samples:
+                futures.append(self.submit(sample, timeout=timeout))
+        except BaseException:
+            self._abandon(futures)
+            raise
+        return futures
 
     def predict(self, batch: np.ndarray,
                 timeout: Optional[float] = None) -> np.ndarray:
@@ -470,12 +633,32 @@ class PlanServer:
         Row ``i`` of the result is the output for row ``i`` of ``batch`` —
         the futures preserve per-request order no matter how the scheduler
         batched them or which shard ran them.
+
+        ``timeout`` is **one shared deadline** for the whole call — queue
+        admission and result gathering together.  (It used to be applied to
+        each future in turn, so an N-sample request could wait up to
+        N x timeout before failing.)  On expiry the not-yet-claimed
+        remainder is withdrawn and :class:`TimeoutError` propagates.
         """
         batch = np.asarray(batch)
         if batch.shape[0] == 0:
             return empty_batch_result(self.plan, batch)
-        futures = self.submit_many(batch, timeout=timeout)
-        return np.stack([future.result(timeout=timeout) for future in futures])
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
+        futures: List[Future] = []
+        try:
+            for sample in batch:
+                futures.append(self.submit(sample, timeout=remaining()))
+            return np.stack([future.result(timeout=remaining())
+                             for future in futures])
+        except BaseException:
+            self._abandon(futures)
+            raise
 
     # ------------------------------------------------------------------ #
     # stats / lifecycle
@@ -483,19 +666,29 @@ class PlanServer:
     def stats_report(self) -> dict:
         """Roll the per-shard stats and scheduler counters into one report.
 
-        ``total`` merges every shard's :class:`RunnerStats`; ``shards`` keeps
-        the per-shard breakdown (useful for spotting load imbalance);
-        ``scheduler`` describes batch shaping and queue depth; ``cache``
-        appears when result caching is enabled.
+        ``total`` merges every live shard's :class:`RunnerStats` plus the
+        drained stats of shards that retired or died, so totals stay
+        monotonic across pool scaling; ``shards`` keeps the live per-shard
+        breakdown (useful for spotting load imbalance); ``scheduler``
+        describes batch shaping and queue depth (snapshotted under the
+        batcher lock — counters in the report are mutually consistent);
+        ``pool`` counts scale events; ``cache`` appears when result caching
+        is enabled.
         """
-        snapshots = [shard.stats_snapshot() for shard in self._shards]
-        total = RunnerStats()
+        with self._pool_lock:
+            shards = [slot.shard for slot in self._slots]
+            total = RunnerStats().merge(self._drained_stats)
+            pool = {"added": self._shards_added,
+                    "retired": self._shards_retired,
+                    "died": self._shards_died}
+        snapshots = [shard.stats_snapshot() for shard in shards]
         for snapshot in snapshots:
             total.merge(snapshot)
         report = {
             "backend": self.backend,
             "n_shards": self.n_shards,
-            "scheduler": self.batcher.stats.to_dict(),
+            "pool": pool,
+            "scheduler": self.batcher.stats_snapshot().to_dict(),
             "shards": [snapshot.to_dict() for snapshot in snapshots],
             "total": total.to_dict(),
         }
@@ -515,20 +708,22 @@ class PlanServer:
         """
         self._closed = True
         self.batcher.close()
+        with self._pool_lock:
+            slots = list(self._slots)
         deadline = None if timeout is None else time.monotonic() + timeout
-        for worker in self._workers:
+        for slot in slots:
             remaining = None
             if deadline is not None:
                 remaining = max(0.0, deadline - time.monotonic())
-            worker.join(timeout=remaining)
-        still_draining = sum(worker.is_alive() for worker in self._workers)
+            slot.worker.join(timeout=remaining)
+        still_draining = sum(slot.worker.is_alive() for slot in slots)
         if still_draining:
             raise TimeoutError(
                 f"close({timeout=}) expired with {still_draining} worker(s) "
                 "still draining; shards left running — call close() again "
                 "to finish")
-        for shard in self._shards:
-            shard.close()
+        for slot in slots:
+            slot.shard.close()
 
     def __enter__(self) -> "PlanServer":
         return self

@@ -34,8 +34,8 @@ from typing import Optional
 import numpy as np
 
 __all__ = ["WireError", "BadRequest", "PayloadTooLarge", "UnprocessableInput",
-           "decode_predict_request", "encode_predict_response",
-           "encode_error", "MAX_BODY_BYTES"]
+           "ReloadRejected", "decode_predict_request", "decode_reload_request",
+           "encode_predict_response", "encode_error", "MAX_BODY_BYTES"]
 
 # Default cap on a request body; netserver rejects larger Content-Lengths
 # with 413 before reading them.  Generous for image batches at benchmark
@@ -73,6 +73,20 @@ class UnprocessableInput(WireError):
 
     status = 422
     reason = "unprocessable input"
+
+
+class ReloadRejected(WireError):
+    """409 — a rolling reload refused before any swap happened.
+
+    Raised when the replacement artifact cannot be loaded or fails its
+    probe validation: the request conflicts with the state on disk, the old
+    pool keeps serving untouched, and the caller should fix the artifact
+    and retry — which is why this is a 4xx, not a 5xx (the *server* is
+    healthy; the *request* named an unservable artifact).
+    """
+
+    status = 409
+    reason = "reload rejected"
 
 
 def decode_predict_request(body: bytes, dtype,
@@ -113,6 +127,38 @@ def decode_predict_request(body: bytes, dtype,
             f'"inputs" carries {batch.shape[0]} samples but this server '
             f"accepts at most {max_samples} per request; split the batch")
     return batch
+
+
+def decode_reload_request(body: bytes) -> Optional[str]:
+    """Parse a reload body into its optional replacement artifact path.
+
+    An empty body (the common case — re-stat the artifact the model was
+    mounted from) decodes to ``None``.  A non-empty body must be a JSON
+    object whose only recognized field is ``"path"``, a non-empty string
+    naming the artifact to serve next; anything else is a
+    :class:`BadRequest` so typos fail loudly instead of silently reloading
+    the old path.
+    """
+    if not body:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequest(f"body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise BadRequest("reload body must be a JSON object, got "
+                         f"{type(payload).__name__}")
+    unknown = sorted(set(payload) - {"path"})
+    if unknown:
+        raise BadRequest(f"unknown reload field(s) {unknown}; "
+                         'only "path" is accepted')
+    if "path" not in payload:
+        return None
+    path = payload["path"]
+    if not isinstance(path, str) or not path:
+        raise BadRequest('"path" must be a non-empty string, got '
+                         f"{path!r}")
+    return path
 
 
 def encode_predict_response(model: str, outputs: np.ndarray,

@@ -253,7 +253,7 @@ def test_process_shard_kill_one_of_two_keeps_serving():
         assert set(statuses) <= {200, 500}
         assert 200 in statuses
         assert_serving(net)
-        assert net.endpoint("toy").server._live_workers >= 1
+        assert net.endpoint("toy").server.n_shards >= 1
 
 
 def test_process_shard_total_death_then_restart_recovers():

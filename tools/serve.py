@@ -14,11 +14,21 @@ Usage::
         --port 8080 --shards 2 --max-batch 16
 
 Each ``--model`` is ``name=path[:key=value...]`` where the per-model
-options ``mode`` (``float``/``int``), ``compile`` (``true``/``false``) and
-``shards`` override the global flags — so one process can serve the same
-artifact on several routes (e.g. a float reference next to the integer
-route).  ``--port 0`` binds an ephemeral port and prints it, which is how
-``examples/serve_http.py`` and the tests drive this file.
+options ``mode`` (``float``/``int``), ``compile`` (``true``/``false``),
+``shards`` and ``max_shards`` override the global flags — so one process
+can serve the same artifact on several routes (e.g. a float reference next
+to the integer route).  ``--port 0`` binds an ephemeral port and prints
+it, which is how ``examples/serve_http.py`` and the tests drive this file.
+
+Lifecycle signals: SIGTERM/SIGINT drain and exit; **SIGHUP rolls every
+model over to the current bytes of its artifact** (zero-downtime: each
+endpoint's pool is rebuilt from a re-stat of its mounted path, probe
+validated, atomically swapped, old pool drained in the background) — the
+operational path for ``cp new_plan.npz artifacts/... && kill -HUP $pid``.
+A model whose new artifact is corrupt keeps serving the old one (the
+rejection is printed, not fatal).  ``--max-shards N`` (or the per-model
+``max_shards=N`` option) turns on shard-pool autoscaling between the
+mounted ``shards`` and ``N``.
 """
 
 from __future__ import annotations
@@ -72,12 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="NAME=PATH[:k=v...]", type=parse_model_spec,
                         help="mount an artifact (repeatable); per-model "
                              "options: mode=float|int, compile=true|false, "
-                             "shards=N")
+                             "shards=N, max_shards=N")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080,
                         help="0 binds an ephemeral port (printed on start)")
     parser.add_argument("--shards", type=int, default=2,
                         help="shard executors per model")
+    parser.add_argument("--max-shards", type=int, default=None,
+                        help="enable autoscaling: grow each model's pool "
+                             "up to this many shards under queue pressure, "
+                             "shrink back when idle (default: off)")
     parser.add_argument("--backend", choices=("thread", "process"),
                         default="thread")
     parser.add_argument("--max-batch", type=int, default=16)
@@ -102,6 +116,7 @@ def build_server(args: argparse.Namespace) -> NetServer:
     """Construct and populate the :class:`NetServer` from parsed flags."""
     net = NetServer(host=args.host, port=args.port)
     for name, path, options in args.model:
+        max_shards = options.get("max_shards", args.max_shards)
         net.add_model(
             name, path,
             n_shards=int(options.get("shards", args.shards)),
@@ -113,8 +128,32 @@ def build_server(args: argparse.Namespace) -> NetServer:
             mode=options.get("mode"),
             compile=_flag(options.get("compile", "false")),
             request_timeout_s=args.request_timeout_s,
+            max_shards=None if max_shards is None else int(max_shards),
         )
     return net
+
+
+def reload_all(net: NetServer) -> None:
+    """Roll every mounted model over to the current bytes of its artifact.
+
+    The SIGHUP handler body (separated so tests can drive it without
+    signals).  Per-model failures are printed and skipped — one corrupt
+    replacement must not stop the others from rolling, and the failed
+    model keeps serving its old pool by :meth:`ModelEndpoint.reload`'s
+    contract.
+    """
+    for name in sorted(net.model_names()):
+        endpoint = net.endpoint(name)
+        if endpoint is None:
+            continue
+        try:
+            info = endpoint.reload()
+            print(f"[serve] reloaded {name!r} "
+                  f"(reload #{info['reloads']}, {info['n_shards']} shards)",
+                  flush=True)
+        except Exception as error:   # noqa: BLE001 — keep serving old pool
+            print(f"[serve] reload of {name!r} rejected: {error}",
+                  flush=True)
 
 
 def main(argv=None) -> int:
@@ -128,8 +167,15 @@ def main(argv=None) -> int:
               flush=True)
         stop.set()
 
+    def _rollover(signum, frame):
+        # handlers must return fast; the probe/swap work runs off-thread
+        threading.Thread(target=reload_all, args=(net,),
+                         name="sighup-reload", daemon=True).start()
+
     signal.signal(signal.SIGTERM, _drain)
     signal.signal(signal.SIGINT, _drain)
+    if hasattr(signal, "SIGHUP"):   # not on Windows; serve there sans reload
+        signal.signal(signal.SIGHUP, _rollover)
     net.start()
     print(f"[serve] listening on {net.url} "
           f"(models: {', '.join(sorted(net.model_names()))})", flush=True)
