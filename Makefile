@@ -1,7 +1,11 @@
 # Development targets for the CIM column-wise quantization reproduction.
 #
-#   make verify       - the one-command gate: tier-1 tests + docs-check + bench-smoke
+#   make verify       - the one-command gate: tier-1 tests + lint + docs-check
+#                       + bench-smoke
 #   make test         - tier-1 test suite (unit + property + integration)
+#   make lint         - static analyzer (tools/analyze): lock-discipline,
+#                       hot-path allocation, int-purity, thread-safety docs
+#                       over src/repro with an empty baseline, 5s budget
 #   make test-engine  - just the frozen-engine suite
 #   make test-int     - the integer-route differential suites (fast iteration
 #                       on the requant pipeline: property tests, fuzz
@@ -21,6 +25,8 @@
 #   make bench-reload - serving-lifecycle benchmark (rolling reload p99 vs
 #                       steady state, autoscaled vs fixed pool under
 #                       saturation, scale-up reaction time)
+#   make bench-analyze - analyzer self-runtime benchmark (full-tree + per-pass
+#                       timings against the 5s lint budget)
 #   make serve-demo   - end-to-end HTTP serving walkthrough
 #                       (examples/serve_http.py: mount, predict, metrics, drain)
 #   make docs-check   - fail on undocumented public APIs in the documented
@@ -32,12 +38,15 @@ PYTHONPATH  := src
 
 export PYTHONPATH
 
-.PHONY: verify test test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler bench-netserver bench-reload serve-demo docs-check install
+.PHONY: verify test lint test-engine test-int coverage bench-smoke bench-engine bench-runner bench-server bench-int bench-compiler bench-netserver bench-reload bench-analyze serve-demo docs-check install
 
-verify: test docs-check bench-smoke
+verify: test lint docs-check bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m tools.analyze src/repro --max-seconds 5
 
 test-engine:
 	$(PYTHON) -m pytest tests/engine -q
@@ -46,10 +55,10 @@ test-int:
 	$(PYTHON) -m pytest tests/core/test_requant.py tests/engine/test_int_requant.py tests/engine/test_golden.py -q
 
 coverage:
-	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --fail-under 90 tests/engine tests/core -q
+	$(PYTHON) tools/run_coverage.py --source src/repro/engine --source src/repro/core/pipeline.py --source src/repro/core/requant.py --source tools/analyze --fail-under 90 tests/engine tests/core tests/tools -q
 
 bench-smoke:
-	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py benchmarks/bench_netserver_slo.py benchmarks/bench_reload_autoscale.py -q
+	REPRO_BENCH_SCALE=tiny $(PYTHON) -m pytest benchmarks/bench_engine_speedup.py benchmarks/bench_runner_throughput.py benchmarks/bench_server_concurrency.py benchmarks/bench_int_requant.py benchmarks/bench_compiler.py benchmarks/bench_netserver_slo.py benchmarks/bench_reload_autoscale.py benchmarks/bench_analyze.py -q
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine_speedup.py
@@ -72,11 +81,14 @@ bench-netserver:
 bench-reload:
 	$(PYTHON) benchmarks/bench_reload_autoscale.py
 
+bench-analyze:
+	$(PYTHON) benchmarks/bench_analyze.py
+
 serve-demo:
 	$(PYTHON) examples/serve_http.py
 
 docs-check:
-	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py tools/serve.py
+	$(PYTHON) tools/check_docstrings.py src/repro/engine src/repro/models src/repro/core/psum.py src/repro/core/pipeline.py src/repro/core/requant.py src/repro/cim/cost.py tools/serve.py tools/analyze
 	$(PYTHON) tools/run_doc_snippets.py docs/engine.md
 
 install:

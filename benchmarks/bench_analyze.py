@@ -1,0 +1,97 @@
+"""Analyzer self-runtime — the lint gate must stay effectively free.
+
+``make lint`` runs every registered pass of ``tools.analyze`` over the
+whole ``src/repro`` tree on every ``make verify``, so its runtime is part
+of the developer inner loop.  This benchmark pins that budget:
+
+* **runtime**: a full four-pass run over ``src/repro`` completes in
+  under 5 seconds (the ``--max-seconds`` value the lint target enforces);
+* **cleanliness**: the run reports zero findings — the gate runs with an
+  empty baseline, so any finding here is a regression;
+* **per-pass attribution**: each pass is also timed alone, so a future
+  slowdown names its culprit instead of just blowing the total.
+
+Run directly (``python benchmarks/bench_analyze.py``) or through pytest.
+Either entry point writes a ``BENCH_analyze.json`` artifact (override the
+location with ``REPRO_BENCH_ANALYZE_ARTIFACT``); ``tiny``-scale smoke
+runs skip the write so ``make bench-smoke`` never clobbers the tracked
+default-scale numbers.
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+from bench_artifacts import write_artifact as _write_artifact
+
+from tools.analyze.core import all_passes, run_analysis
+
+_BUDGET_SECONDS = 5.0
+_TREE = os.path.join(_ROOT, "src", "repro")
+
+
+def _timed_run(select=None):
+    """One analysis run over the engine tree: (seconds, result)."""
+    started = time.perf_counter()
+    result = run_analysis([_TREE], select=select, root=_ROOT)
+    return time.perf_counter() - started, result
+
+
+def run_benchmark():
+    """Full-tree and per-pass timings plus the finding counts."""
+    total_seconds, result = _timed_run()
+    per_pass = {}
+    for pass_id in all_passes():
+        seconds, partial = _timed_run(select=[pass_id])
+        per_pass[pass_id] = {"seconds": round(seconds, 4),
+                             "findings": len(partial.findings)}
+    return {
+        "files_analyzed": result.files_analyzed,
+        "total_seconds": round(total_seconds, 4),
+        "budget_seconds": _BUDGET_SECONDS,
+        "findings": len(result.findings),
+        "waived": len(result.waived),
+        "per_pass": per_pass,
+    }
+
+
+def check_results(results):
+    """Assert the lint-gate contract on one benchmark run."""
+    assert results["files_analyzed"] > 50, results
+    assert results["findings"] == 0, \
+        f"engine tree is not analyzer-clean: {results}"
+    assert results["total_seconds"] < _BUDGET_SECONDS, \
+        f"analyzer blew its {_BUDGET_SECONDS}s budget: {results}"
+
+
+def test_analyzer_runtime_budget():
+    """Pytest entry point: full tree clean and inside the 5s budget."""
+    results = run_benchmark()
+    check_results(results)
+    _write_artifact("analyze", "BENCH_analyze.json",
+                    "REPRO_BENCH_ANALYZE_ARTIFACT", results)
+
+
+def main():
+    """Direct entry point: print the timings and write the artifact."""
+    results = run_benchmark()
+    check_results(results)
+    print(f"analyzed {results['files_analyzed']} files in "
+          f"{results['total_seconds']:.2f}s "
+          f"(budget {results['budget_seconds']:.0f}s)")
+    for pass_id, stats in results["per_pass"].items():
+        print(f"  {pass_id:<24} {stats['seconds']:.2f}s "
+              f"{stats['findings']} finding(s)")
+    path = _write_artifact("analyze", "BENCH_analyze.json",
+                           "REPRO_BENCH_ANALYZE_ARTIFACT", results)
+    if path:
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -160,6 +160,7 @@ def requantize(acc, m0, shift, qmin: Optional[int] = None,
         raise ValueError(
             f"shift must be in [0, {MAX_SHIFT}], got "
             f"[{int(shift_arr.min())}, {int(shift_arr.max())}]")
+    # int-pure: begin
     prod = np.asarray(acc, dtype=np.int64) * np.asarray(m0, dtype=np.int64)
     # (1 << shift) >> 1 is 2**(shift-1), and 0 when shift == 0 — the
     # shift-0 case degenerates to the identity without a branch.
@@ -168,6 +169,7 @@ def requantize(acc, m0, shift, qmin: Optional[int] = None,
     out = np.where(prod < 0, -mag, mag)
     if qmin is not None:
         out = np.clip(out, int(qmin), int(qmax))
+    # int-pure: end
     return out
 
 
@@ -192,11 +194,13 @@ def requantize_up(acc, m0, shift, qmin: Optional[int] = None,
         raise ValueError(
             f"shift must be in [0, {MAX_SHIFT}], got "
             f"[{int(shift_arr.min())}, {int(shift_arr.max())}]")
+    # int-pure: begin
     prod = np.asarray(acc, dtype=np.int64) * np.asarray(m0, dtype=np.int64)
     half = (np.int64(1) << shift_arr) >> np.int64(1)
     out = (prod + half) >> shift_arr
     if qmin is not None:
         out = np.clip(out, int(qmin), int(qmax))
+    # int-pure: end
     return out
 
 

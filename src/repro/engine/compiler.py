@@ -52,6 +52,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.tensor import Tensor
+from .hotpath import hot_path
 from .model_plan import (GraphNode, ModelPlan, ModelPlanError, _channel_shape,
                          run_conv2d, run_global_avg_pool, run_linear, run_pool)
 
@@ -323,7 +324,9 @@ def _make_step_fn(plan: ModelPlan, step: FusedStep, si: int,
                                       layout="nlk")
                 cols_flat = cols.reshape(n * length, cols.shape[2])
                 if int_route:
+                    # int-pure: begin
                     res = lp._contract_int(cols_flat)
+                    # int-pure: end
                 else:
                     res = lp._contract(cols_flat, None)
                     if lp.act_scale is not None:
@@ -342,8 +345,10 @@ def _make_step_fn(plan: ModelPlan, step: FusedStep, si: int,
                 x = lp._cast_input(vals[i0])
                 dst = get_out(vals, views)
                 if lp._int_route(None):
+                    # int-pure: begin
                     np.copyto(dst,
                               lp._contract_int(lp._quantize_acts_carrier(x)))
+                    # int-pure: end
                     return dst
                 res = lp._contract(lp._quantize_acts(x), None)
                 if lp.act_scale is not None:
@@ -562,6 +567,12 @@ class CompiledPlan:
     The step defining the graph output always produces a fresh array —
     never an arena view — so unlike the interpreted workspace path,
     returned results stay valid across subsequent calls.
+
+    Thread model: the shape-plan cache ``_shape_plans`` is copy-on-write —
+    lookups read a stable dict snapshot without locking, and a miss builds
+    the plan and publishes a wholesale-replaced dict under ``_lock`` (so
+    it is deliberately not declared in a ``_GUARDED_BY`` map).  Shape
+    plans themselves are immutable after construction.
     """
 
     def __init__(self, plan: ModelPlan, steps: List[FusedStep]):
@@ -577,40 +588,45 @@ class CompiledPlan:
     # ------------------------------------------------------------------ #
     @property
     def dtype(self) -> str:
-        """Execution dtype name (delegates to the underlying plan)."""
+        """Execution dtype name (read-only; delegates to the plan)."""
         return self.plan.dtype
 
     @property
     def np_dtype(self) -> np.dtype:
-        """NumPy dtype the schedule executes in."""
+        """NumPy dtype the schedule executes in (read-only)."""
         return self.plan.np_dtype
 
     @property
     def mode(self) -> str:
-        """Active execution route of the underlying plan (float or int)."""
+        """Active execution route of the underlying plan, float or int
+        (a single racy-but-atomic attribute read; thread-safe)."""
         return self.plan.mode
 
     @property
     def name(self) -> str:
-        """Model name recorded in the underlying plan."""
+        """Model name recorded in the underlying plan (read-only)."""
         return self.plan.name
 
     @property
     def output_id(self) -> int:
-        """SSA id of the graph output value."""
+        """SSA id of the graph output value (read-only)."""
         return self.plan.output_id
 
     @property
     def layer_plans(self) -> list:
-        """The shared per-layer CIM plans (same objects as the interpreter's)."""
+        """The shared per-layer CIM plans (read-only list; same objects as
+        the interpreter's)."""
         return self.plan.layer_plans
 
     def set_mode(self, mode: str) -> None:
-        """Switch the shared layer plans between float and integer routes."""
+        """Switch the shared layer plans between float and integer routes.
+        Not safe concurrently with :meth:`execute` — quiesce callers first
+        (the serving layer swaps pools instead of flipping modes live)."""
         self.plan.set_mode(mode)
 
     def int_drift_bound(self) -> float:
-        """Declared max-abs drift of ``mode="int"`` (delegates to the plan)."""
+        """Declared max-abs drift of ``mode="int"`` (read-only; delegates
+        to the plan)."""
         return self.plan.int_drift_bound()
 
     # ------------------------------------------------------------------ #
@@ -618,16 +634,19 @@ class CompiledPlan:
     # ------------------------------------------------------------------ #
     @property
     def n_steps(self) -> int:
-        """Number of fused schedule steps."""
+        """Number of fused schedule steps (immutable after compilation)."""
         return len(self.steps)
 
     @property
     def n_fused(self) -> int:
-        """Number of graph ops folded into a preceding step's tail."""
+        """Number of graph ops folded into a preceding step's tail
+        (immutable after compilation)."""
         return (len(self.plan.nodes) - 1) - len(self.steps)
 
     def summary(self) -> str:
-        """Fusion groups, schedule order, and per-shape arena footprint."""
+        """Fusion groups, schedule order, and per-shape arena footprint.
+        Thread-safe: reads one stable snapshot of the copy-on-write
+        shape-plan cache."""
         lines = [f"CompiledPlan({self.name or 'model'}, dtype={self.dtype}, "
                  f"{len(self.plan.nodes) - 1} ops -> {self.n_steps} steps, "
                  f"{self.n_fused} fused)"]
@@ -635,10 +654,11 @@ class CompiledPlan:
             ins = ", ".join(f"%{i}" for i in step.inputs)
             lines.append(f"  %{step.out_id:<3} {step.ops:<28} ({ins}) "
                          f"{step.name}")
-        if self._shape_plans:
+        plans = self._shape_plans   # one stable snapshot (copy-on-write)
+        if plans:
             itemsize = self.np_dtype.itemsize
-            for shape in sorted(self._shape_plans):
-                sp = self._shape_plans[shape]
+            for shape in sorted(plans):
+                sp = plans[shape]
                 nbytes = sum(sp.block_items) * itemsize
                 lines.append(
                     f"  arena{list(shape)}: {len(sp.block_items)} block(s), "
@@ -650,6 +670,7 @@ class CompiledPlan:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    @hot_path
     def execute(self, x: np.ndarray, timings: Optional[Dict[str, float]] = None,
                 workspace: Optional[dict] = None) -> np.ndarray:
         """Run the compiled schedule on a batch array.
@@ -658,6 +679,11 @@ class CompiledPlan:
         per-step wall-clock seconds keyed by the fused step name;
         ``workspace`` keeps the buffer arena alive across calls.  Returned
         arrays are never arena-backed and stay valid across calls.
+
+        Thread-safe only when each concurrent caller owns its ``workspace``
+        (or passes none): shape plans are immutable and shared; arena
+        buffers are per-workspace.  Registered hot: the steady-state loop
+        performs no per-call output allocations (see ``tools/analyze``).
         """
         x = np.asarray(x.data if isinstance(x, Tensor) else x,
                        dtype=self.plan.np_dtype)
@@ -681,7 +707,10 @@ class CompiledPlan:
         return self.execute(x)
 
     def workspace_footprint(self, workspace: Optional[dict]) -> tuple:
-        """``(resident_bytes, n_blocks)`` of the arenas held by ``workspace``."""
+        """``(resident_bytes, n_blocks)`` of the arenas held by ``workspace``.
+        Read-only; safe against concurrent shape-plan publishes (one stable
+        copy-on-write snapshot), but not against the owner mutating
+        ``workspace`` mid-call."""
         if not workspace:
             return (0, 0)
         arenas = workspace.get(_ARENA_KEY)
@@ -689,8 +718,9 @@ class CompiledPlan:
             return (0, 0)
         itemsize = self.np_dtype.itemsize
         total = blocks = 0
+        plans = self._shape_plans   # one stable snapshot (copy-on-write)
         for shape in arenas:
-            sp = self._shape_plans.get(shape)
+            sp = plans.get(shape)
             if sp is not None:
                 total += sum(sp.block_items) * itemsize
                 blocks += len(sp.block_items)
@@ -706,7 +736,11 @@ class CompiledPlan:
                 sp = self._shape_plans.get(shape)
                 if sp is None:
                     sp = _build_shape_plan(self, shape)
-                    self._shape_plans[shape] = sp
+                    # copy-on-write publish: concurrent lock-free readers
+                    # only ever see a complete dict
+                    plans = dict(self._shape_plans)
+                    plans[shape] = sp
+                    self._shape_plans = plans
         return sp
 
     def _materialize(self, sp: _ShapePlan) -> List[Optional[np.ndarray]]:

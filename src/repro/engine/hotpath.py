@@ -1,0 +1,67 @@
+"""Hot-path registry and thread-local workspace buffers.
+
+Two tools for the engine's steady-state zero-allocation discipline,
+enforced statically by ``tools/analyze`` (hot-path-allocation pass):
+
+* :func:`hot_path` — a zero-overhead marker decorator.  A decorated
+  function is *registered hot*: the analyzer forbids NumPy array
+  constructors (``np.zeros/empty/concatenate`` and friends),
+  comprehensions, and closure creation inside it.  Allocation must
+  instead route through ``out=`` arguments or :func:`scratch`.
+
+* :func:`scratch` — keyed, thread-local, reusable buffers.  The first
+  call for a ``(key, shape, dtype)`` allocates with ``np.empty``; every
+  subsequent call from the same thread with the same shape returns the
+  same array, so a steady-state serving loop stops allocating entirely.
+  Buffers are uninitialized on reuse, exactly like ``np.empty`` — the
+  caller must fully overwrite before reading.  Thread-locality makes the
+  buffers safe under the shard pool (each worker thread gets its own
+  set) but also means a buffer must never escape to another thread: use
+  a scratch array only for intermediates consumed before the function's
+  caller returns, never for returned results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Tuple
+
+import numpy as np
+
+_TLS = threading.local()
+
+
+def hot_path(func):
+    """Mark ``func`` as a hot path for the static analyzer; returns it as-is.
+
+    Purely declarative — no wrapper, no call overhead.  The attribute
+    ``__hot_path__`` is set for introspection and tests.
+    """
+    func.__hot_path__ = True
+    return func
+
+
+def scratch(key: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable thread-local buffer of exactly ``shape`` and ``dtype``.
+
+    Contents are undefined (like ``np.empty``); the buffer is replaced
+    when ``shape`` or ``dtype`` changes for the same ``key``.  Thread-safe
+    by construction: every thread owns a private buffer table, so two
+    shard workers can never hand each other the same array.
+    """
+    buffers = getattr(_TLS, "buffers", None)
+    if buffers is None:
+        buffers = _TLS.buffers = {}
+    buf = buffers.get(key)
+    if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+        buf = buffers[key] = np.empty(shape, dtype)
+    return buf
+
+
+def scratch_buffers() -> int:
+    """Number of live scratch buffers owned by the calling thread."""
+    buffers = getattr(_TLS, "buffers", None)
+    return len(buffers) if buffers else 0
+
+
+__all__ = ["hot_path", "scratch", "scratch_buffers"]

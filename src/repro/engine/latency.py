@@ -33,6 +33,9 @@ import math
 import threading
 from typing import Dict, Iterable, Optional, Sequence
 
+from .hotpath import hot_path
+from .locking import ordered
+
 __all__ = ["LatencyHistogram", "percentiles"]
 
 # Quantiles every report carries; /metrics and the benchmark share this set.
@@ -56,8 +59,15 @@ class LatencyHistogram:
         buckets.
 
     Thread model: :meth:`record` and the readers take an internal lock, so
-    one histogram may be shared by every handler thread of the HTTP server.
+    one histogram may be shared by every handler thread of the HTTP server;
+    :meth:`merge` holds *both* histograms' locks (acquired in canonical
+    ``id()`` order via :func:`repro.engine.locking.ordered`), so concurrent
+    cross-merges cannot deadlock.  The guarded state below is declared for
+    the static analyzer (``tools/analyze``, lock-discipline pass).
     """
+
+    _GUARDED_BY = {"_counts": "_lock", "count": "_lock", "total": "_lock",
+                   "min": "_lock", "max": "_lock"}
 
     def __init__(self, min_value: float = 1e-6, max_value: float = 120.0,
                  growth: float = 1.05):
@@ -81,13 +91,21 @@ class LatencyHistogram:
     # recording
     # ------------------------------------------------------------------ #
     def _bucket(self, value: float) -> int:
+        """Bucket index for a value.
+
+        :guarded-by: _lock
+        """
         if value <= self.min_value:
             return 0
         index = int(math.log(value / self.min_value) / self._log_growth)
         return min(index, len(self._counts) - 1)
 
+    @hot_path
     def record(self, seconds: float) -> None:
-        """Count one latency sample (negative values clamp to zero)."""
+        """Count one latency sample (negative values clamp to zero).
+
+        Thread-safe: counters update under the internal lock.
+        """
         value = max(0.0, float(seconds))
         with self._lock:
             self._counts[self._bucket(value)] += 1
@@ -97,7 +115,9 @@ class LatencyHistogram:
             self.max = value if self.max is None else max(self.max, value)
 
     def record_many(self, values: Iterable[float]) -> None:
-        """Record every sample of an iterable (a convenience for tests/benchmarks)."""
+        """Record every sample of an iterable (a convenience for
+        tests/benchmarks).  Thread-safe; the lock is taken per sample, so
+        concurrent readers interleave between samples."""
         for value in values:
             self.record(value)
 
@@ -106,12 +126,17 @@ class LatencyHistogram:
     # ------------------------------------------------------------------ #
     @property
     def mean(self) -> float:
-        """Arithmetic mean of the recorded samples (0.0 when empty)."""
+        """Arithmetic mean of the recorded samples (0.0 when empty).
+        Thread-safe: reads under the internal lock."""
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
     def _representative(self, index: int) -> float:
-        # geometric midpoint of bucket `index`, clamped to the exact extremes
+        """Geometric midpoint of bucket ``index``, clamped to the exact
+        extremes.
+
+        :guarded-by: _lock
+        """
         low = self.min_value * self.growth ** index
         value = low * math.sqrt(self.growth) if index else self.min_value
         if self.max is not None:
@@ -127,7 +152,7 @@ class LatencyHistogram:
         ``ceil(q/100 * count)``-th order statistic, clamped to the exact
         observed ``[min, max]`` — so the estimate is within a factor of
         ``sqrt(growth)`` of the true sample percentile, and ``q=0`` /
-        ``q=100`` are exact.
+        ``q=100`` are exact.  Thread-safe: scans under the internal lock.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile q={q} outside [0, 100]")
@@ -147,7 +172,9 @@ class LatencyHistogram:
             return self.max   # unreachable: ranks are <= count
 
     def percentiles(self, qs: Sequence[float] = REPORT_QUANTILES) -> Dict[float, float]:
-        """``{q: estimate_seconds}`` for a sequence of quantiles."""
+        """``{q: estimate_seconds}`` for a sequence of quantiles.
+        Thread-safe; the lock is taken per quantile, so a concurrent
+        ``record`` may land between two entries of one report."""
         return {float(q): self.percentile(q) for q in qs}
 
     # ------------------------------------------------------------------ #
@@ -165,37 +192,40 @@ class LatencyHistogram:
         integer counter arrays, which makes it exactly associative and
         commutative on counts and percentiles (the float ``total`` is summed
         pairwise, so the mean is associative up to float rounding).
+
+        Thread-safe and atomic: both locks are held for the update,
+        acquired in canonical ``id()`` order, so two threads cross-merging
+        the same pair (``a.merge(b)`` racing ``b.merge(a)``) cannot
+        deadlock and never observe a half-applied merge.
         """
         if not self._same_shape(other):
             raise ValueError(
                 "cannot merge histograms with different bucket configs: "
                 f"({self.min_value}, {self.max_value}, {self.growth}) vs "
                 f"({other.min_value}, {other.max_value}, {other.growth})")
-        with other._lock:
-            counts = list(other._counts)
-            count, total = other.count, other.total
-            other_min, other_max = other.min, other.max
-        with self._lock:
-            for index, bucket_count in enumerate(counts):
+        with ordered(self._lock, other._lock):
+            for index, bucket_count in enumerate(other._counts):
                 self._counts[index] += bucket_count
-            self.count += count
-            self.total += total
-            if other_min is not None:
-                self.min = other_min if self.min is None \
-                    else min(self.min, other_min)
-            if other_max is not None:
-                self.max = other_max if self.max is None \
-                    else max(self.max, other_max)
+            self.count += other.count
+            self.total += other.total
+            if other.min is not None:
+                self.min = other.min if self.min is None \
+                    else min(self.min, other.min)
+            if other.max is not None:
+                self.max = other.max if self.max is None \
+                    else max(self.max, other.max)
         return self
 
     def copy(self) -> "LatencyHistogram":
-        """An independent snapshot with the same configuration and counts."""
+        """An independent snapshot with the same configuration and counts.
+        Thread-safe: delegates to :meth:`merge`, which locks both sides."""
         snapshot = LatencyHistogram(self.min_value, self.max_value, self.growth)
         snapshot.merge(self)
         return snapshot
 
     def reset(self) -> None:
-        """Zero every counter (e.g. between benchmark phases)."""
+        """Zero every counter (e.g. between benchmark phases).
+        Thread-safe: swaps the counters under the internal lock."""
         with self._lock:
             self._counts = [0] * len(self._counts)
             self.count = 0
@@ -204,7 +234,9 @@ class LatencyHistogram:
             self.max = None
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary in **milliseconds** (SLO units)."""
+        """JSON-serializable summary in **milliseconds** (SLO units).
+        Thread-safe; quantiles and totals are read under the lock (in two
+        acquisitions, so a concurrent ``record`` may fall between them)."""
         quantiles = self.percentiles()
         with self._lock:
             count, total = self.count, self.total

@@ -1,0 +1,43 @@
+"""Lock-acquisition helpers shared by the threaded engine modules.
+
+The one deadlock-prone shape in the engine is acquiring two *peer* locks
+— the same lock attribute on two instances of the same class, where
+neither instance is canonically "first" (``a.merge(b)`` racing
+``b.merge(a)``).  :func:`ordered` is the sanctioned way to do it: both
+locks are always acquired in ascending ``id()`` order, so any two
+threads contending for the same pair agree on the order and cannot
+deadlock.
+
+The static analyzer (``tools/analyze``, lock-discipline pass) recognizes
+``with ordered(a._lock, b._lock):`` as holding both locks and flags any
+other nested acquisition of two same-class peer locks — see
+``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def ordered(lock_a, lock_b):
+    """Hold two peer locks, acquired in canonical ``id()`` order.
+
+    Deadlock-free by construction: every thread acquiring the pair
+    ``{lock_a, lock_b}`` takes them in the same (address) order, whatever
+    order the caller wrote them in.  Passing the same lock twice acquires
+    it once (the locks are non-reentrant).  Released in reverse order on
+    exit, exception or not.
+    """
+    if lock_a is lock_b:
+        with lock_a:
+            yield
+        return
+    first, second = ((lock_a, lock_b) if id(lock_a) < id(lock_b)
+                     else (lock_b, lock_a))
+    with first:
+        with second:
+            yield
+
+
+__all__ = ["ordered"]

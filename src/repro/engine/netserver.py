@@ -125,7 +125,8 @@ class EndpointCounters:
                 setattr(self, name, getattr(self, name) + amount)
 
     def to_dict(self) -> dict:
-        """A consistent snapshot of every counter."""
+        """A mutually consistent snapshot of every counter.
+        Thread-safe: reads under the internal lock."""
         with self._lock:
             return {field: getattr(self, field) for field in self.FIELDS}
 
@@ -157,7 +158,15 @@ class ModelEndpoint:
     swap to a new artifact with a background drain of the old pool), and —
     when ``max_shards`` is set — the :class:`Autoscaler` controller thread
     that grows and shrinks the shard pool with load.
+
+    Lock map (declared below for the static analyzer): ``_drains`` is
+    guarded by ``_reload_lock``.  ``_known_shapes`` is deliberately *not*
+    declared — it is a copy-on-write ``frozenset`` replaced wholesale
+    under ``_probe_lock``, so the membership fast path reads a stable
+    immutable snapshot without locking.
     """
+
+    _GUARDED_BY = {"_drains": "_reload_lock"}
 
     def __init__(self, name: str, plan_source, server_kwargs: dict,
                  max_request_samples: Optional[int] = None,
@@ -182,7 +191,7 @@ class ModelEndpoint:
         self._admission = threading.Lock()
         self._probe_lock = threading.Lock()
         self._reload_lock = threading.Lock()
-        self._known_shapes: set = set()
+        self._known_shapes: frozenset = frozenset()   # copy-on-write
         self._drains: list = []
         self.autoscaler: Optional[Autoscaler] = None
         if max_shards is not None:
@@ -219,7 +228,7 @@ class ModelEndpoint:
                 raise wire.UnprocessableInput(
                     f"model {self.name!r} cannot execute sample shape "
                     f"{shape}: {type(error).__name__}: {error}") from error
-            self._known_shapes.add(shape)
+            self._known_shapes = self._known_shapes | {shape}
 
     def _admit(self, batch: np.ndarray) -> List:
         """Classify the request as accepted (submitting it) or rejected.
@@ -274,6 +283,10 @@ class ModelEndpoint:
         :class:`~repro.engine.server.ServerClosed` (503) or lets execution
         errors (500, exactly this request's samples) propagate — the caller
         maps each to its HTTP status.
+
+        Thread-safe: every handler thread calls this concurrently;
+        admission is serialized under the admission lock and the counters
+        and histograms take their own locks.
         """
         t_start = time.monotonic()
         try:
@@ -325,13 +338,16 @@ class ModelEndpoint:
         fail with their pool's error; requests admitted after the swap are
         served by the new shards.  For a zero-downtime swap to a *healthy*
         pool use :meth:`reload` instead.
+
+        Thread-safe: the swap happens under the admission lock, so every
+        request is admitted into exactly one pool.
         """
         with self._admission:
             old = self.server
             self.server = PlanServer(self._plan_source, **self._server_kwargs)
             self._artifact = _stat_artifact(self._plan_source)
             with self._probe_lock:
-                self._known_shapes.clear()   # the rebuilt plan may differ
+                self._known_shapes = frozenset()   # the rebuilt plan may differ
             self.counters.add(restarts=1)
         try:
             old.close(timeout=10.0)
@@ -396,7 +412,7 @@ class ModelEndpoint:
                 self._plan_source = source
                 self._artifact = artifact
                 with self._probe_lock:
-                    self._known_shapes.clear()
+                    self._known_shapes = frozenset()
                 self.counters.add(reloads=1)
             # drain the old pool off the request path: its accepted
             # requests resolve through their futures as the workers finish
@@ -410,15 +426,20 @@ class ModelEndpoint:
                     "n_shards": fresh.n_shards, "artifact": artifact}
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Stop the autoscaler, drain the pool, join pending reload drains."""
+        """Stop the autoscaler, drain the pool, join pending reload drains.
+        Thread-safe: the drain list is snapshotted under the reload lock."""
         if self.autoscaler is not None:
             self.autoscaler.stop()
         self.server.close(timeout=timeout)
-        for drain in self._drains:
+        with self._reload_lock:
+            drains = list(self._drains)
+        for drain in drains:
             drain.join(timeout=10.0)
 
     def metrics(self) -> dict:
-        """This endpoint's full metrics document (one entry of ``/metrics``)."""
+        """This endpoint's full metrics document (one entry of ``/metrics``).
+        Thread-safe: built from locked snapshots (counters, histograms,
+        batcher stats); distinct blocks may straddle concurrent updates."""
         plan = self.server.plan
         counters = self.counters.to_dict()
         return {
@@ -531,7 +552,9 @@ class Autoscaler:
         self._thread.join(timeout=5.0)
 
     def to_dict(self) -> dict:
-        """The ``/metrics`` autoscaler block: configuration + liveness."""
+        """The ``/metrics`` autoscaler block: configuration + liveness.
+        Thread-safe: reads immutable config plus a racy-but-monotonic
+        error count."""
         return {
             "enabled": True,
             "alive": self._thread.is_alive(),
@@ -773,17 +796,19 @@ class NetServer:
     # ------------------------------------------------------------------ #
     @property
     def host(self) -> str:
-        """Bound host address."""
+        """Bound host address (immutable after construction)."""
         return self._httpd.server_address[0]
 
     @property
     def port(self) -> int:
-        """Bound port (the ephemeral one when constructed with ``port=0``)."""
+        """Bound port (the ephemeral one when constructed with ``port=0``;
+        immutable after construction)."""
         return self._httpd.server_address[1]
 
     @property
     def url(self) -> str:
-        """Base URL clients should target, e.g. ``http://127.0.0.1:43210``."""
+        """Base URL clients should target, e.g. ``http://127.0.0.1:43210``
+        (immutable after construction)."""
         return f"http://{self.host}:{self.port}"
 
     def _note_disconnect(self) -> None:
@@ -792,7 +817,8 @@ class NetServer:
 
     @property
     def client_disconnects(self) -> int:
-        """Connections dropped by clients mid-request/response (survived)."""
+        """Connections dropped by clients mid-request/response (survived).
+        Thread-safe: reads under the disconnect lock."""
         with self._disconnects_lock:
             return self._disconnects
 
@@ -821,6 +847,9 @@ class NetServer:
         ``max_shards`` under queue pressure, shrinking back on sustained
         idle; ``autoscale`` tunes the controller (``interval_s``,
         ``up_queue_frac``, ``idle_s``, ``cooldown_s``).
+
+        Thread-safe: the mount table is updated under the endpoints lock;
+        a duplicate name is refused (and its endpoint torn down).
         """
         if not name or any(ch in name for ch in "/ \t\n"):
             raise ValueError(f"model name {name!r} must be non-empty and "
@@ -840,12 +869,14 @@ class NetServer:
         return endpoint
 
     def endpoint(self, name: str) -> Optional[ModelEndpoint]:
-        """The mounted endpoint for ``name`` (``None`` when unknown)."""
+        """The mounted endpoint for ``name`` (``None`` when unknown).
+        Thread-safe: reads the mount table under the endpoints lock."""
         with self._endpoints_lock:
             return self._endpoints.get(name)
 
     def model_names(self) -> List[str]:
-        """Names of every mounted model."""
+        """Names of every mounted model.
+        Thread-safe: snapshots the mount table under the endpoints lock."""
         with self._endpoints_lock:
             return list(self._endpoints)
 
@@ -890,7 +921,8 @@ class NetServer:
 
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
-        """The ``/healthz`` document: liveness plus mounted model names."""
+        """The ``/healthz`` document: liveness plus mounted model names.
+        Thread-safe: reads only locked snapshots and immutable state."""
         return {
             "status": "ok",
             "models": sorted(self.model_names()),
@@ -904,6 +936,9 @@ class NetServer:
         == offered``), the total/queue/compute latency histograms
         (p50/p95/p99 in milliseconds), admission state, and the underlying
         :meth:`PlanServer.stats_report`.
+
+        Thread-safe: the mount table is snapshotted under the endpoints
+        lock and every per-model block is built from locked snapshots.
         """
         with self._endpoints_lock:
             endpoints = dict(self._endpoints)

@@ -52,6 +52,7 @@ from ..cim.tiling import WeightMapping, mapping_from_dict, mapping_to_dict
 from ..core.pipeline import varied_splits
 from ..core.requant import RequantConstants, requantize
 from ..nn import functional as F
+from .hotpath import hot_path, scratch
 
 __all__ = [
     "ConvPlan",
@@ -274,6 +275,7 @@ class _PlanBase:
         a = np.clip(x / self.act_scale, self.act_qmin, self.act_qmax)
         return np.round(a, out=a)
 
+    @hot_path
     def _quantize_acts_carrier(self, x: np.ndarray) -> np.ndarray:
         """Activation codes cast onto the integer route's GEMM carrier.
 
@@ -282,9 +284,15 @@ class _PlanBase:
         values land in the carrier, fused into the rounding pass; with a
         ``float32`` carrier every downstream unfold and GEMM then moves half
         the bytes.
+
+        Registered hot: the code array is a thread-local :func:`scratch`
+        buffer, fully overwritten by the rounding pass and consumed (by the
+        unfold/GEMM) before this request returns — steady-state calls with a
+        stable batch shape allocate nothing.
         """
         a = np.clip(x / self.act_scale, self.act_qmin, self.act_qmax)
-        codes = np.empty(a.shape, dtype=np.dtype(self.requant.gemm_dtype))
+        codes = scratch((id(self), "act_codes"), a.shape,
+                        np.dtype(self.requant.gemm_dtype))
         return np.rint(a, out=codes, casting="unsafe")
 
     def _varied_splits(self, variation) -> np.ndarray:
@@ -347,6 +355,7 @@ class _PlanBase:
                 out += np.einsum("xso,so->xo", p, m, optimize=True)
         return out
 
+    @hot_path
     def _contract_int(self, cols_flat: np.ndarray) -> np.ndarray:
         """Integer-route contraction: ``(NL, in_features)`` to ``(NL, OC)``.
 
@@ -358,6 +367,14 @@ class _PlanBase:
         output rounding shift — runs in ``int64``.  The returned array is
         the finished layer output (scale and bias already applied); callers
         must not re-apply ``act_scale`` or ``bias``.
+
+        Registered hot: every intermediate lives in a thread-local
+        :func:`scratch` buffer, fully overwritten before it is read and
+        consumed before this call returns (the returned array is the fresh
+        output of the final dequant multiply, never a scratch view), so
+        steady-state calls with a stable batch shape allocate only the
+        result.  The fixed-point section is fenced with ``int-pure``
+        markers for the static analyzer.
         """
         rq = self.requant
         cols_c = cols_flat.astype(np.dtype(rq.gemm_dtype), copy=False)
@@ -372,7 +389,8 @@ class _PlanBase:
             # requantize_up is three in-place passes (add, shift, clip) —
             # constants were validated and verified at build time, so the
             # hot loop carries no per-array call or sign-handling overhead
-            p = np.empty((n_arrays, nl, s * oc), dtype=cols_c.dtype)
+            p = scratch((id(self), "ci_p"), (n_arrays, nl, s * oc),
+                        cols_c.dtype)
             for i, (start, stop) in enumerate(self.row_slices):
                 np.matmul(cols_c[:, start:stop], self._w_split_int_mats[i],
                           out=p[i])
@@ -380,9 +398,10 @@ class _PlanBase:
             # batch axis keeps each block cache-resident across all of them
             qmin_i, qmax_i = int(self.psum_qmin), int(self.psum_qmax)
             rows = max(1, (1 << 18) // max(1, n_arrays * s * oc))
-            acc = np.empty((nl, oc), dtype=np.int64)
-            buf = np.empty((n_arrays, min(rows, max(nl, 1)), s, oc),
-                           dtype=np.int64)
+            acc = scratch((id(self), "ci_acc"), (nl, oc), np.int64)
+            buf = scratch((id(self), "ci_buf"),
+                          (n_arrays, min(rows, max(nl, 1)), s, oc), np.int64)
+            # int-pure: begin
             for j in range(0, nl, rows):
                 c = min(rows, nl - j)
                 b = buf[:, :c]
@@ -394,18 +413,23 @@ class _PlanBase:
                 # fused multiply-reduce: sum_{a,s} codes * m0_out -> (c, OC)
                 np.einsum("anso,aso->no", b, self._m0_out64,
                           out=acc[j:j + c])
+            # int-pure: end
         else:
-            p = np.empty((n_arrays, nl, oc), dtype=cols_c.dtype)
+            p = scratch((id(self), "ci_pf"), (n_arrays, nl, oc), cols_c.dtype)
             for i, (start, stop) in enumerate(self.row_slices):
                 np.matmul(cols_c[:, start:stop], self._w_int_mats[i],
                           out=p[i])
+            # int-pure: begin
             p64 = np.multiply(p, self._m0_fused64,      # (A, 1, OC) bcast
                               dtype=np.int64, casting="unsafe")
             acc = p64.sum(axis=0)
+            # int-pure: end
+        # int-pure: begin
         if rq.bias_q is not None:
             acc += rq.bias_q
         acc += self._half_out                # one half-up rounding shift for
         acc >>= self._shift_out              # the whole layer (see requantize_up)
+        # int-pure: end
         # output dequant fused with the cast: the only float multiply, at the
         # layer boundary (codes are exact in float64; float32 plans narrow
         # here exactly as the float route's output does)

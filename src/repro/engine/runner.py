@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .hotpath import hot_path
 from .model_plan import ModelPlan
 
 __all__ = ["InferenceRunner", "PlanExecutor", "RunnerStats",
@@ -152,7 +153,13 @@ class PlanExecutor:
         preallocated activation buffers reused across batches.  Outputs of a
         buffer-reusing executor are only valid until its next
         :meth:`execute_batch` — copy rows that must outlive the batch.
+
+    The stats accumulator is guarded by ``_stats_lock`` (declared below
+    for the static analyzer); the workspace is deliberately unguarded —
+    it is owned by whichever single thread drives this executor.
     """
+
+    _GUARDED_BY = {"stats": "_stats_lock"}
 
     def __init__(self, plan: ModelPlan, collect_timings: bool = True,
                  reuse_buffers: bool = True):
@@ -162,13 +169,16 @@ class PlanExecutor:
         self._workspace: Optional[dict] = {} if reuse_buffers else None
         self._stats_lock = threading.Lock()
 
+    @hot_path
     def execute_batch(self, batch: np.ndarray) -> np.ndarray:
         """Run one ``(N, ...)`` batch through the plan, updating :attr:`stats`.
 
         Per-batch timings accumulate into a local dict first and merge into
         :attr:`stats` under a lock at the end, so a concurrent
         :meth:`stats_snapshot` (the server's stats report) never observes a
-        half-updated batch.
+        half-updated batch.  Registered hot: every batch in the engine goes
+        through here, so the body allocates nothing itself — execution
+        buffers live in the reused workspace.
         """
         timings: Optional[Dict[str, float]] = \
             {} if self.collect_timings else None
@@ -196,7 +206,9 @@ class PlanExecutor:
         return out
 
     def stats_snapshot(self) -> RunnerStats:
-        """A consistent copy of :attr:`stats`, safe to read while serving."""
+        """A consistent copy of :attr:`stats`, safe to read while serving.
+        Thread-safe: copies under the stats lock, so it never observes a
+        half-applied batch update."""
         with self._stats_lock:
             return RunnerStats(samples=self.stats.samples,
                                batches=self.stats.batches,

@@ -70,7 +70,13 @@ class ShardDied(RuntimeError):
 # caches
 # --------------------------------------------------------------------------- #
 class LRUCache:
-    """A small thread-safe least-recently-used cache with hit/miss counters."""
+    """A small thread-safe least-recently-used cache with hit/miss counters.
+
+    All state is guarded by one internal lock (declared below for the
+    static analyzer); every method is safe to call from any thread.
+    """
+
+    _GUARDED_BY = {"_data": "_lock", "hits": "_lock", "misses": "_lock"}
 
     def __init__(self, max_entries: int):
         if max_entries < 1:
@@ -82,7 +88,8 @@ class LRUCache:
         self._lock = threading.Lock()
 
     def get(self, key):
-        """Return the cached value or ``None``; touches LRU order on hit."""
+        """Return the cached value or ``None``; touches LRU order on hit.
+        Thread-safe: lookup and counter update happen under the lock."""
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -92,7 +99,8 @@ class LRUCache:
             return None
 
     def put(self, key, value) -> None:
-        """Insert ``key``; evicts the least-recently-used entry when full."""
+        """Insert ``key``; evicts the least-recently-used entry when full.
+        Thread-safe: insert and eviction happen under the lock."""
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
@@ -100,7 +108,8 @@ class LRUCache:
                 self._data.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry and zero the hit/miss counters."""
+        """Drop every entry and zero the hit/miss counters.
+        Thread-safe: one atomic reset under the lock."""
         with self._lock:
             self._data.clear()
             self.hits = 0
@@ -111,9 +120,13 @@ class LRUCache:
             return len(self._data)
 
     def to_dict(self) -> dict:
-        """JSON-serializable counters for the server stats report."""
-        return {"entries": len(self), "max_entries": self.max_entries,
-                "hits": self.hits, "misses": self.misses}
+        """JSON-serializable counters for the server stats report.
+        Thread-safe: one consistent snapshot under the lock (``hits`` and
+        ``misses`` can otherwise tear against a concurrent ``get``)."""
+        with self._lock:
+            return {"entries": len(self._data),
+                    "max_entries": self.max_entries,
+                    "hits": self.hits, "misses": self.misses}
 
 
 _PLAN_CACHE = LRUCache(max_entries=8)
@@ -224,8 +237,11 @@ class _ProcessShard:
     round-trip ships one batch in and one result out.  ``stats`` mirrors the
     child's executor stats as of the last completed batch, with the parent's
     pipe round-trip time substituted for ``seconds`` so the server-level
-    report reflects what callers actually experienced.
+    report reflects what callers actually experienced — mirrored under
+    ``_stats_lock``, as declared below.
     """
+
+    _GUARDED_BY = {"stats": "_stats_lock"}
 
     def __init__(self, plan, collect_timings: bool):
         import multiprocessing
@@ -342,7 +358,20 @@ class PlanServer:
 
     Use as a context manager, or call :meth:`close` — close drains queued
     requests before the workers exit, so no accepted request is dropped.
+
+    Thread model: the shard pool membership and scale counters live under
+    ``_pool_lock``, submission sequencing under ``_seq_lock`` (declared
+    below for the static analyzer); ``_closed`` is an advisory fast-fail
+    flag read without a lock — the authoritative rejection of late submits
+    is the batcher's own closed check, made under the batcher lock.
     """
+
+    _GUARDED_BY = {"_seq": "_seq_lock",
+                   "_slots": "_pool_lock",
+                   "_drained_stats": "_pool_lock",
+                   "_shards_added": "_pool_lock",
+                   "_shards_retired": "_pool_lock",
+                   "_shards_died": "_pool_lock"}
 
     def __init__(self, plan, n_shards: int = 2, backend: str = "thread",
                  max_batch: int = 16, max_wait_ms: float = 2.0,
@@ -505,8 +534,9 @@ class PlanServer:
     def add_shard(self) -> int:
         """Grow the pool by one shard while serving; returns the new size.
 
-        The new worker joins the existing batcher immediately, so queued
-        requests start landing on it without any pause in service.  Raises
+        Thread-safe: the pool mutates under the pool lock.  The new worker
+        joins the existing batcher immediately, so queued requests start
+        landing on it without any pause in service.  Raises
         :class:`ServerClosed` on a closed (or all-shards-dead) server.
         """
         if self._closed:
@@ -518,6 +548,7 @@ class PlanServer:
                      timeout: Optional[float] = None) -> int:
         """Shrink the pool by one shard without dropping any request.
 
+        Thread-safe: the retirement mark is placed under the pool lock.
         Marks one live shard for retirement and wakes the workers; the
         marked worker leaves at its next batch boundary (an executing batch
         always completes — accepted requests are never abandoned).  The
@@ -544,7 +575,8 @@ class PlanServer:
     # ------------------------------------------------------------------ #
     @property
     def n_shards(self) -> int:
-        """Number of worker shards in rotation (retiring shards excluded)."""
+        """Number of worker shards in rotation (retiring shards excluded).
+        Thread-safe: counts under the pool lock."""
         with self._pool_lock:
             return sum(1 for slot in self._slots
                        if not slot.retire.is_set())
@@ -611,10 +643,11 @@ class PlanServer:
                     timeout: Optional[float] = None) -> List[Future]:
         """Queue each sample of an iterable; futures come back in input order.
 
-        All-or-nothing: when a submit fails mid-iteration (backpressure
-        timeout, server closing), the already-enqueued prefix is withdrawn
-        via :meth:`_abandon` before the error propagates — the caller never
-        leaks accepted-but-unreadable work, and sample-level accounting can
+        Thread-safe, like :meth:`submit`, and all-or-nothing: when a submit
+        fails mid-iteration (backpressure timeout, server closing), the
+        already-enqueued prefix is withdrawn via :meth:`_abandon` before
+        the error propagates — the caller never leaks
+        accepted-but-unreadable work, and sample-level accounting can
         treat the whole call as rejected.
         """
         futures: List[Future] = []
@@ -630,9 +663,11 @@ class PlanServer:
                 timeout: Optional[float] = None) -> np.ndarray:
         """Batch-in / batch-out convenience: submit rows, gather, stack.
 
-        Row ``i`` of the result is the output for row ``i`` of ``batch`` —
-        the futures preserve per-request order no matter how the scheduler
-        batched them or which shard ran them.
+        Thread-safe: any number of callers may predict concurrently; their
+        rows interleave in the shared queue.  Row ``i`` of the result is
+        the output for row ``i`` of ``batch`` — the futures preserve
+        per-request order no matter how the scheduler batched them or
+        which shard ran them.
 
         ``timeout`` is **one shared deadline** for the whole call — queue
         admission and result gathering together.  (It used to be applied to

@@ -12,6 +12,7 @@ commutative — checked structurally (bucket counts) and behaviorally
 """
 
 import math
+import threading
 
 import numpy as np
 import pytest
@@ -227,3 +228,41 @@ def test_to_dict_reports_milliseconds():
     assert report["p99_ms"] == pytest.approx(10.0)
     assert set(report) == {"count", "mean_ms", "min_ms", "max_ms",
                            "p50_ms", "p95_ms", "p99_ms"}
+
+
+# --------------------------------------------------------------------------- #
+# concurrent cross-merge: ordered() two-lock acquisition must not deadlock
+# --------------------------------------------------------------------------- #
+def test_concurrent_cross_merge_does_not_deadlock():
+    """Two threads cross-merging peer histograms must both finish.
+
+    Before merge() took both peer locks through ordered(), this exact
+    interleaving could deadlock: one thread holds a's lock waiting on
+    b's while the other holds b's waiting on a's.  With id()-ordered
+    acquisition both threads always take the same histogram's lock
+    first, so the race is benign and both loops terminate.
+    """
+    a = _filled([0.010])
+    b = _filled([0.020])
+    rounds = 40          # counts grow Fibonacci-fast; stay far below int64
+    barrier = threading.Barrier(2)
+
+    def cross(dst, src):
+        barrier.wait()
+        for _ in range(rounds):
+            dst.merge(src)
+
+    threads = [threading.Thread(target=cross, args=(a, b), daemon=True),
+               threading.Thread(target=cross, args=(b, a), daemon=True)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), "cross-merge deadlocked"
+    # merging only ever adds counts: both histograms grew past their seed
+    # sample and their bucket totals stayed internally consistent
+    for histogram in (a, b):
+        report = histogram.to_dict()
+        assert report["count"] == histogram.count
+        assert histogram.count > 1
+    assert a.percentile(50.0) > 0.0 and b.percentile(50.0) > 0.0

@@ -1,0 +1,14 @@
+"""Make the repo root importable so ``tools.analyze`` resolves.
+
+The suite runs with ``PYTHONPATH=src`` (see the Makefile); the analyzer
+package lives at the repo root (``tools/``), two directory levels up
+from this file, so it is inserted into ``sys.path`` here.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)

@@ -1,0 +1,35 @@
+"""Seeded thread-safety doc-contract violations — fixture, never imported."""
+
+import threading
+
+
+class Counter:
+    """Owns a lock; the public methods below violate the doc contract."""
+
+    def __init__(self):
+        """Single-threaded construction."""
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def increment(self):  # seed: missing-docstring
+        with self._lock:
+            self.value += 1
+
+    def get(self):  # seed: thread-safety-undocumented
+        """Return the current value."""
+        with self._lock:
+            return self.value
+
+    def _helper(self):
+        """Private: exempt from the contract."""
+        return self.value
+
+
+class _Private:
+    """Private class: exempt even though it owns a lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poke(self):
+        return 1

@@ -1,0 +1,32 @@
+"""Seeded hot-path allocation violations — fixture, never imported."""
+
+import numpy as np
+
+_HOT_FUNCTIONS = ("registry_hot",)
+
+
+def hot_path(func):
+    """Stand-in decorator; the pass matches the name lexically."""
+    return func
+
+
+@hot_path
+def decorated_hot(values):
+    """One of each banned construct inside a decorated hot function."""
+    buffer = np.zeros(len(values))  # seed: hot-allocation
+    squares = [v * v for v in values]  # seed: hot-comprehension
+
+    def inner(v):  # seed: hot-closure
+        return v + 1
+
+    return buffer, squares, inner
+
+
+def registry_hot(block):
+    """Hot via the module-level _HOT_FUNCTIONS registry."""
+    return np.concatenate([block, block])  # seed: hot-allocation
+
+
+def cold_helper(n):
+    """Not registered hot: allocating here is fine."""
+    return np.zeros(n)

@@ -1,0 +1,21 @@
+"""Seeded int-purity violations — fixture, never imported."""
+
+import numpy as np
+
+
+def leaky_requantize(acc, x):
+    """Every float-reintroduction rule inside one marked region."""
+    # int-pure: begin
+    scale = 0.5  # seed: float-literal
+    halved = acc / 2  # seed: float-division
+    root = np.sqrt(x)  # seed: float-call
+    boxed = float(acc[0])  # seed: float-call
+    widened = x.astype(np.float32)  # seed: float-dtype
+    summed = np.multiply(x, x, dtype="float64")  # seed: float-dtype
+    # int-pure: end
+    return scale, halved, root, boxed, widened, summed
+
+
+def clean_outside(acc):
+    """Float math outside any marked region is out of scope."""
+    return acc / 2.0

@@ -1,0 +1,92 @@
+"""Seeded lock-discipline violations — analyzer fixture, never imported.
+
+Each violating line carries a trailing ``seed: <rule>`` comment; the
+test-suite maps those comments to expected ``(rule, line)`` findings, so
+hand-maintained line numbers never drift.  This file lives under
+``tests/`` on purpose: the lint gate only analyzes ``src/repro``.
+"""
+
+import threading
+
+ORDER_LOCK = threading.Lock()
+
+
+class MissingLock:
+    """Declares guarded state with a lock the class never constructs."""
+
+    _GUARDED_BY = {"items": "_nolock"}  # seed: unknown-lock
+
+    def __init__(self):
+        self.items = []
+
+
+class Reacquire:
+    """Caller-must-hold tag violated by re-acquiring the same lock."""
+
+    _GUARDED_BY = {"count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def unguarded_read(self):
+        """Reads guarded state with no lock held."""
+        return self.count  # seed: unguarded-access
+
+    def deadlock(self):
+        """:guarded-by: _lock"""
+        with self._lock:  # seed: lock-reacquire
+            self.count += 1
+
+    def bad_tag(self):  # seed: unknown-lock
+        """:guarded-by: _ghost"""
+        return 0
+
+
+class Peer:
+    """Two same-label peer locks taken in arbitrary order."""
+
+    _GUARDED_BY = {"total": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def merge_bad(self, other: "Peer"):
+        """Nested same-label acquisition bypassing the ordered() helper."""
+        with self._lock:
+            with other._lock:  # seed: unordered-acquisition
+                self.total += 1
+
+
+class ExternalBad:
+    """Dotted guard spec accessed without the matching docstring tag."""
+
+    _GUARDED_BY = {"shared": "owner._lock"}
+
+    def __init__(self, owner):
+        self.owner = owner
+        self.shared = 0
+
+    def bump(self):
+        """Touches the externally-guarded attribute with no tag."""
+        self.shared += 1  # seed: unguarded-access
+
+
+class CycleMaker:
+    """Feeds a two-node cycle into the project acquisition graph."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+
+    def forward(self):
+        """Class lock, then module lock."""
+        with self._a:
+            with ORDER_LOCK:
+                pass
+
+    def backward(self):
+        """Module lock, then class lock: the inversion."""
+        with ORDER_LOCK:
+            with self._a:
+                pass

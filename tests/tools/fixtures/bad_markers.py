@@ -1,0 +1,11 @@
+"""Unbalanced int-pure markers — all three defect variants — fixture."""
+
+FIRST = 1
+# int-pure: begin
+SECOND = 2
+# int-pure: begin  seed: marker-unbalanced
+THIRD = 3
+# int-pure: end
+# int-pure: end  seed: marker-unbalanced
+# int-pure: begin  seed: marker-unbalanced
+FOURTH = 4

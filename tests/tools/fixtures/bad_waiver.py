@@ -1,0 +1,7 @@
+"""A waiver without a ``-- reason`` clause is itself a finding — fixture."""
+
+
+def noop():
+    """No-op carrying a reasonless waiver."""
+    # analyze: allow[lock-discipline]  seed: allow-missing-reason
+    return None

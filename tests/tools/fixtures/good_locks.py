@@ -1,0 +1,65 @@
+"""Clean lock usage the analyzer must accept — fixture, never imported.
+
+Covers the ``ordered()`` two-peer-lock helper, caller-must-hold tags,
+dotted external guards, ``Condition``-aliases-lock resolution, and an
+inline ``analyze: allow`` waiver.  ``lock-discipline`` must report zero
+findings here; the waived read lands in ``result.waived``.
+"""
+
+import threading
+
+from repro.engine.locking import ordered
+
+
+class GoodPeer:
+    """Peer merge through ordered(): no unordered-acquisition."""
+
+    _GUARDED_BY = {"total": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def merge(self, other: "GoodPeer"):
+        """Thread-safe: both peer locks held via id()-ordered ordered()."""
+        with ordered(self._lock, other._lock):
+            self.total += other.total
+
+    def snapshot(self):
+        """:guarded-by: _lock"""
+        return self.total
+
+    def racy_total(self):
+        """Deliberately lock-free telemetry read, waived inline."""
+        # analyze: allow[lock-discipline] -- racy-but-monotonic telemetry read
+        return self.total
+
+
+class CondAlias:
+    """Condition constructed on the lock aliases to it."""
+
+    _GUARDED_BY = {"queue": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self.queue = []
+
+    def pop(self):
+        """Thread-safe: waits under the condition, which wraps the lock."""
+        with self._ready:
+            return self.queue.pop()
+
+
+class ExternalGood:
+    """State guarded by another object's lock, declared with a dotted spec."""
+
+    _GUARDED_BY = {"shared": "owner._lock"}
+
+    def __init__(self, owner):
+        self.owner = owner
+        self.shared = 0
+
+    def bump(self):
+        """:guarded-by: owner._lock"""
+        self.shared += 1

@@ -1,0 +1,7 @@
+"""Development tooling for the repository (not shipped with ``repro``).
+
+Importable as a package so that ``python -m tools.analyze`` (the static
+analyzer) works from the repository root; the standalone scripts next to
+this file (``check_docstrings.py``, ``run_coverage.py``, ...) keep working
+when invoked directly by path.
+"""

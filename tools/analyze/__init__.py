@@ -1,0 +1,34 @@
+"""Repo-invariant static analyzer for the serving engine.
+
+A small AST-based framework (stdlib ``ast`` + ``tokenize`` only — no new
+dependencies) plus four repo-specific passes that turn the engine's
+docstring-only concurrency and performance conventions into machine-checked
+invariants:
+
+* ``lock-discipline`` — guarded-state declarations (``_GUARDED_BY``),
+  ``:guarded-by:`` caller-must-hold tags, and a static lock-acquisition
+  graph with inversion detection (:mod:`tools.analyze.locks`);
+* ``hot-path-allocation`` — functions marked ``@hot_path`` may not
+  allocate via ``np.zeros/empty/concatenate`` & friends, build
+  comprehensions, or create closures (:mod:`tools.analyze.allocs`);
+* ``int-purity`` — no float constructors, float literals, or true
+  division between ``# int-pure: begin/end`` markers
+  (:mod:`tools.analyze.intpure`);
+* ``thread-safety-docs`` — every public method of a class owning a
+  ``threading.*`` primitive states its thread-safety contract
+  (:mod:`tools.analyze.doccontract`).
+
+Run it as ``python -m tools.analyze src/repro`` (what ``make lint`` does),
+or drive it from Python via :func:`tools.analyze.core.run_analysis`.  The
+annotation conventions and the baseline workflow are documented in
+``docs/analysis.md``.
+"""
+
+from .core import (Finding, SourceModule, all_passes, load_baseline,
+                   run_analysis, write_baseline)
+from . import allocs, doccontract, intpure, locks  # noqa: F401 — register passes
+
+__all__ = [
+    "Finding", "SourceModule", "all_passes", "run_analysis",
+    "load_baseline", "write_baseline",
+]

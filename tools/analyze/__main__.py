@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m tools.analyze [paths...]``.
+
+Exit codes: 0 — clean (or baseline-suppressed); 1 — findings (or the
+``--max-seconds`` self-runtime budget blown); 2 — usage error.  This is
+what ``make lint`` runs; see ``docs/analysis.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core import all_passes, load_baseline, run_analysis, write_baseline
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the analyzer CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="AST-based repo-invariant checks (lock discipline, "
+                    "hot-path allocation, int-purity, thread-safety docs)")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--select", metavar="PASS[,PASS...]",
+                        help="comma-separated pass ids to run (default: all)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="JSON baseline of accepted findings to suppress")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite --baseline FILE from current findings "
+                             "and exit 0")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="fail if the analysis itself takes longer than "
+                             "this (the lint gate uses 5)")
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for pass_id, pass_cls in all_passes().items():
+            print(f"{pass_id:<24} {pass_cls.description}")
+        return 0
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline requires --baseline FILE")
+
+    select = args.select.split(",") if args.select else None
+    baseline = load_baseline(args.baseline) if args.baseline else []
+    started = time.perf_counter()
+    try:
+        result = run_analysis(args.paths, select=select, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings + result.suppressed)
+        print(f"wrote {args.baseline}: "
+              f"{len(result.findings) + len(result.suppressed)} finding(s)")
+        return 0
+
+    for finding in result.findings:
+        print(finding.render())
+    summary = (f"analyzed {result.files_analyzed} file(s) in {elapsed:.2f}s: "
+               f"{len(result.findings)} finding(s)")
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} baseline-suppressed"
+    if result.waived:
+        summary += f", {len(result.waived)} waived inline"
+    print(summary)
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"FAIL: analyzer took {elapsed:.2f}s "
+              f"(budget {args.max_seconds:.2f}s)", file=sys.stderr)
+        return 1
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,312 @@
+"""Framework core for the static analyzer: findings, passes, baseline.
+
+Everything repo-agnostic lives here: the :class:`Finding` model with
+file/line spans and a severity, the parsed-module wrapper
+(:class:`SourceModule` — AST plus the comment stream, which plain
+``ast.parse`` drops), the pass registry, inline ``# analyze: allow[...]``
+waivers, the optional baseline file, and the :func:`run_analysis` driver
+that the CLI (``python -m tools.analyze``) and the test-suite share.
+
+The repo-specific rules live in the pass modules (:mod:`.locks`,
+:mod:`.allocs`, :mod:`.intpure`, :mod:`.doccontract`), each registered via
+the :func:`register` decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+SEVERITIES = ("error", "warning")
+
+#: ``# analyze: allow[pass-id] -- reason`` waives findings of that pass on
+#: the same line or the line directly below the comment.  The reason is
+#: mandatory — a waiver without one is itself a finding.
+_ALLOW_RE = re.compile(
+    r"#\s*analyze:\s*allow\[(?P<pass>[a-z0-9-]+)\]\s*(?:--\s*(?P<reason>\S.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer diagnostic, spanning ``line``..``end_line`` of ``path``."""
+
+    pass_id: str
+    rule: str
+    path: str
+    line: int
+    message: str
+    end_line: int = 0
+    severity: str = "error"
+    symbol: str = ""
+
+    def __post_init__(self):
+        if not self.end_line:
+            object.__setattr__(self, "end_line", self.line)
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        """``path:line`` (or ``path:line-end_line`` for multi-line spans)."""
+        if self.end_line > self.line:
+            return f"{self.path}:{self.line}-{self.end_line}"
+        return f"{self.path}:{self.line}"
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity used by the baseline file.
+
+        Keyed on path, pass, rule, and enclosing symbol so that unrelated
+        edits moving code up or down do not invalidate a baseline entry.
+        """
+        return f"{self.path}::{self.pass_id}::{self.rule}::{self.symbol}"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return (f"{self.location()}: {self.severity}: "
+                f"{self.pass_id}/{self.rule}:{sym} {self.message}")
+
+
+class SourceModule:
+    """One parsed source file: text, AST, comments, and waivers."""
+
+    def __init__(self, path: str, relpath: str, text: str):
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.comments: List[Tuple[int, str]] = self._collect_comments(text)
+
+    @staticmethod
+    def _collect_comments(text: str) -> List[Tuple[int, str]]:
+        """``(lineno, comment_text)`` pairs, via :mod:`tokenize`."""
+        comments = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    comments.append((tok.start[0], tok.string))
+        except tokenize.TokenError:  # pragma: no cover — ast.parse catches first
+            pass
+        return comments
+
+    def allows(self) -> Tuple[Dict[Tuple[str, int], str], List[Finding]]:
+        """Inline waivers: ``{(pass_id, covered_line): reason}`` + defects.
+
+        A waiver covers its own line and the next line (for comment-above
+        style).  Waivers with no ``-- reason`` are reported as findings.
+        """
+        table: Dict[Tuple[str, int], str] = {}
+        defects: List[Finding] = []
+        for lineno, comment in self.comments:
+            match = _ALLOW_RE.search(comment)
+            if not match:
+                continue
+            reason = match.group("reason")
+            if not reason:
+                defects.append(Finding(
+                    pass_id="analyzer", rule="allow-missing-reason",
+                    path=self.relpath, line=lineno, severity="error",
+                    message="allow[] waiver requires a '-- reason' clause"))
+                continue
+            for covered in (lineno, lineno + 1):
+                table[(match.group("pass"), covered)] = reason
+        return table, defects
+
+
+class AnalysisPass:
+    """Base class for passes; subclasses set ``pass_id``/``description``.
+
+    ``run`` is called once per module; ``finalize`` once per analysis run,
+    after every module, for whole-project rules (e.g. the lock-order
+    graph).  A fresh instance is created for every analysis run, so passes
+    may accumulate state across ``run`` calls.
+    """
+
+    pass_id = ""
+    description = ""
+
+    def run(self, module: SourceModule) -> List[Finding]:
+        """Per-module findings (override)."""
+        raise NotImplementedError
+
+    def finalize(self) -> List[Finding]:
+        """Whole-project findings emitted after all modules ran."""
+        return []
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register(pass_cls: type) -> type:
+    """Class decorator adding an :class:`AnalysisPass` to the registry."""
+    if not pass_cls.pass_id:
+        raise ValueError(f"{pass_cls.__name__} has no pass_id")
+    if pass_cls.pass_id in _REGISTRY:
+        raise ValueError(f"duplicate pass_id {pass_cls.pass_id!r}")
+    _REGISTRY[pass_cls.pass_id] = pass_cls
+    return pass_cls
+
+
+def all_passes() -> Dict[str, type]:
+    """Registered passes, ``{pass_id: class}`` (copy; registration order)."""
+    return dict(_REGISTRY)
+
+
+def python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(os.path.abspath(path))
+        else:
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__")
+                found.extend(os.path.abspath(os.path.join(dirpath, name))
+                             for name in sorted(filenames)
+                             if name.endswith(".py"))
+    return sorted(set(found))
+
+
+@dataclass
+class AnalysisResult:
+    """Everything :func:`run_analysis` produces."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)  # baseline hits
+    waived: List[Finding] = field(default_factory=list)      # allow[] hits
+    files_analyzed: int = 0
+
+    def errors(self) -> List[Finding]:
+        """Only the error-severity findings."""
+        return [f for f in self.findings if f.severity == "error"]
+
+
+def _relpath(path: str, root: Optional[str]) -> str:
+    base = root or os.getcwd()
+    rel = os.path.relpath(path, base)
+    return rel.replace(os.sep, "/")
+
+
+def run_analysis(paths: Sequence[str],
+                 select: Optional[Sequence[str]] = None,
+                 baseline: Optional[Iterable[str]] = None,
+                 root: Optional[str] = None) -> AnalysisResult:
+    """Run the (selected) passes over every ``.py`` file under ``paths``.
+
+    ``baseline`` is an iterable of :meth:`Finding.baseline_key` strings to
+    suppress; ``root`` anchors the repo-relative paths in findings
+    (defaults to the current directory).
+    """
+    registry = all_passes()
+    selected = list(select) if select else list(registry)
+    unknown = [pid for pid in selected if pid not in registry]
+    if unknown:
+        raise ValueError(f"unknown pass id(s): {', '.join(unknown)}")
+    passes = [registry[pid]() for pid in selected]
+
+    result = AnalysisResult()
+    raw: List[Finding] = []
+    waivers: Dict[Tuple[str, str, int], str] = {}
+    for path in python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            module = SourceModule(path, relpath, text)
+        except (SyntaxError, ValueError) as exc:
+            raw.append(Finding(pass_id="analyzer", rule="parse-error",
+                               path=relpath, line=getattr(exc, "lineno", 1) or 1,
+                               message=f"cannot parse: {exc}"))
+            continue
+        result.files_analyzed += 1
+        table, defects = module.allows()
+        raw.extend(defects)
+        waivers.update({(relpath, pid, line): reason
+                        for (pid, line), reason in table.items()})
+        for pass_ in passes:
+            raw.extend(pass_.run(module))
+    for pass_ in passes:
+        raw.extend(pass_.finalize())
+
+    baseline_keys = set(baseline or ())
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.pass_id, f.rule)):
+        if (finding.path, finding.pass_id, finding.line) in waivers:
+            result.waived.append(finding)
+        elif finding.baseline_key() in baseline_keys:
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def load_baseline(path: str) -> List[str]:
+    """Baseline keys from a JSON baseline file (``[]`` if absent)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a baseline file")
+    return list(payload["findings"])
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Persist the given findings' keys as the new baseline."""
+    keys = sorted({f.baseline_key() for f in findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "findings": keys}, handle, indent=2)
+        handle.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# shared AST helpers used by several passes
+# --------------------------------------------------------------------------- #
+def iter_classes(tree: ast.Module) -> Iterable[ast.ClassDef]:
+    """Every class in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iter_methods(cls: ast.ClassDef) -> Iterable[ast.FunctionDef]:
+    """Direct function children of a class (sync and async)."""
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, ``""`` otherwise."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def docstring_of(node: ast.AST) -> str:
+    """The literal docstring of a def/class, ``""`` when absent."""
+    try:
+        return ast.get_docstring(node, clean=False) or ""
+    except TypeError:  # pragma: no cover — only def/class are passed
+        return ""
+
+
+__all__ = [
+    "AnalysisPass", "AnalysisResult", "Finding", "SourceModule",
+    "all_passes", "register", "run_analysis", "python_files",
+    "load_baseline", "write_baseline",
+    "iter_classes", "iter_methods", "dotted_name", "docstring_of",
+]

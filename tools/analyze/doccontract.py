@@ -1,0 +1,89 @@
+"""Thread-safety doc contract: lock-owning classes document their methods.
+
+Any *public* class that owns a ``threading.*`` primitive (``Lock``,
+``RLock``, ``Condition``, ``Event``, ``Semaphore``, ``Barrier``,
+``Thread``, ``local`` — created in a method body or at class scope) is a
+concurrency API: every public method and property of such a class must
+state its thread-safety contract in its own docstring.
+
+"States its contract" means the docstring mentions the concurrency
+vocabulary — thread(-safe), lock, guarded, concurrent, serialized,
+atomic, blocking, race, reentrant, single-flight, immutable/read-only —
+or carries a ``:guarded-by:`` tag.  The pass deliberately checks for
+*presence* of a statement, not its truth; truth is the lock-discipline
+pass's job for guarded state and the test-suite's for the rest.
+
+Private classes (``_Name``), private methods, and dunders are exempt.
+A public method with no docstring at all is reported here too (the
+repo-wide docstring checker only covers the modules listed in
+``make docs-check``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from .core import (AnalysisPass, Finding, SourceModule, docstring_of,
+                   dotted_name, iter_classes, iter_methods, register)
+
+_PRIMITIVES = {"Lock", "RLock", "Condition", "Event", "Semaphore",
+               "BoundedSemaphore", "Barrier", "Thread", "local"}
+_STATEMENT_RE = re.compile(
+    r"(?i)(thread|lock|guard|concurren|serial|atomi|immutab|read-only|"
+    r"race|block|reentran|single-flight|:guarded-by:)")
+
+
+def _owns_primitive(cls: ast.ClassDef) -> Optional[str]:
+    """Name of the first threading primitive the class creates, if any."""
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            parts = name.split(".")
+            if parts[-1] in _PRIMITIVES and (
+                    len(parts) == 1 or parts[0] == "threading"):
+                return parts[-1]
+    return None
+
+
+@register
+class ThreadSafetyDocPass(AnalysisPass):
+    """Public methods of lock-owning classes state their thread-safety."""
+
+    pass_id = "thread-safety-docs"
+    description = ("every public method of a class owning a threading.* "
+                   "primitive documents its thread-safety contract")
+
+    def run(self, module: SourceModule) -> List[Finding]:
+        """Check every public lock-owning class of one module."""
+        findings: List[Finding] = []
+        for cls in iter_classes(module.tree):
+            if cls.name.startswith("_"):
+                continue
+            primitive = _owns_primitive(cls)
+            if primitive is None:
+                continue
+            for method in iter_methods(cls):
+                if method.name.startswith("_"):
+                    continue  # private helpers and dunders
+                symbol = f"{cls.name}.{method.name}"
+                doc = docstring_of(method)
+                if not doc:
+                    findings.append(Finding(
+                        pass_id=self.pass_id, rule="missing-docstring",
+                        path=module.relpath, line=method.lineno,
+                        symbol=symbol,
+                        message=(f"public method of {cls.name} (owns a "
+                                 f"threading.{primitive}) has no docstring")))
+                elif not _STATEMENT_RE.search(doc):
+                    findings.append(Finding(
+                        pass_id=self.pass_id, rule="thread-safety-undocumented",
+                        path=module.relpath, line=method.lineno,
+                        symbol=symbol,
+                        message=(f"{cls.name} owns a threading.{primitive}; "
+                                 f"the docstring of {method.name} must state "
+                                 f"its thread-safety (e.g. 'Thread-safe.', "
+                                 f"'Callers must hold ...', 'Immutable "
+                                 f"after construction.')")))
+        return findings

@@ -1,0 +1,367 @@
+"""Lock-discipline pass: guarded state, caller-must-hold tags, lock order.
+
+Conventions checked (see ``docs/analysis.md`` for the annotation guide):
+
+* A class declares guarded state with a class attribute::
+
+      _GUARDED_BY = {"_pending": "_lock", "stats": "_lock"}
+
+  Every read or write of a guarded attribute — on ``self`` or on any
+  parameter annotated with the same class (peer instances, e.g.
+  ``other: "LatencyHistogram"``) — must be lexically inside
+  ``with <receiver>.<lock>:`` for that same receiver, inside
+  ``with ordered(a._lock, b._lock):`` (the canonical two-peer-lock
+  helper from :mod:`repro.engine.locking`), or inside a method tagged
+  caller-must-hold.  ``__init__``/``__post_init__`` are exempt
+  (single-threaded construction).
+
+* A method whose docstring carries ``:guarded-by: <lock>`` is
+  caller-must-hold: its body may touch state guarded by that lock
+  without re-acquiring it, and re-acquiring it inside the method is
+  flagged (``threading.Lock`` is non-reentrant — that is a deadlock).
+  A dotted spec (``:guarded-by: batcher._lock``) names a lock owned by
+  another object; guard values may likewise be dotted, in which case
+  every access requires the enclosing method to carry the matching tag.
+
+* Lock-order: nested acquisitions build a static acquisition graph over
+  ``Class.lockattr`` labels (module-level locks get ``module:NAME``
+  labels).  Cycles are reported, and acquiring two *peer* locks with the
+  same label (two instances of one class, the ``latency.merge`` shape)
+  is flagged unless done through ``ordered(...)``, whose runtime
+  ``id()``-ordering makes it inversion-free by construction.
+
+``threading.Condition(self._lock)`` aliases are resolved to the
+underlying lock, so ``with self._space:`` counts as holding ``_lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import (AnalysisPass, Finding, SourceModule, docstring_of,
+                   dotted_name, iter_classes, iter_methods, register)
+
+_PRIMITIVES = ("Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore")
+_TAG_RE = re.compile(r":guarded-by:\s*([A-Za-z_][\w.]*)")
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+_ORDERED_HELPERS = {"ordered"}
+
+# held-lock tokens: ("recv", receiver_name, lock_attr, class_name)
+#                   ("mod", module_relpath, lock_name)
+#                   ("ext", spec)   — from a dotted :guarded-by: tag
+
+
+def _label(token: Tuple) -> Optional[str]:
+    """Graph label of a held-lock token (None for external tags)."""
+    if token[0] == "recv":
+        return f"{token[3]}.{token[2]}"
+    if token[0] == "mod":
+        return f"{token[1]}:{token[2]}"
+    return None
+
+
+class _ClassInfo:
+    """Lock layout of one class: primitives, condition aliases, guards."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.name = node.name
+        self.locks: Set[str] = set()
+        self.aliases: Dict[str, str] = {}
+        self.guarded: Dict[str, str] = {}
+        self.guard_lineno = node.lineno
+        self._scan()
+
+    def _scan(self) -> None:
+        for stmt in self.node.body:
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "_GUARDED_BY"):
+                self.guard_lineno = stmt.lineno
+                try:
+                    value = ast.literal_eval(stmt.value)
+                except (ValueError, SyntaxError):
+                    value = None
+                if isinstance(value, dict):
+                    self.guarded = {str(k): str(v) for k, v in value.items()}
+        for method in iter_methods(self.node):
+            for stmt in ast.walk(method):
+                if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                    continue
+                target = stmt.targets[0]
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                ctor = self._primitive_ctor(stmt.value)
+                if ctor is None:
+                    continue
+                self.locks.add(target.attr)
+                if ctor == "Condition":
+                    args = stmt.value.args
+                    if (args and isinstance(args[0], ast.Attribute)
+                            and isinstance(args[0].value, ast.Name)
+                            and args[0].value.id == "self"):
+                        self.aliases[target.attr] = args[0].attr
+
+    @staticmethod
+    def _primitive_ctor(value: ast.AST) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        for prim in _PRIMITIVES:
+            if name == f"threading.{prim}" or name == prim:
+                return prim
+        return None
+
+    def resolve(self, lock_attr: str) -> str:
+        """Canonical lock attr (conditions resolve to their shared lock)."""
+        return self.aliases.get(lock_attr, lock_attr)
+
+
+def _module_locks(tree: ast.Module) -> Set[str]:
+    """Module-level ``NAME = threading.Lock()`` style lock names."""
+    names = set()
+    for stmt in tree.body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and _ClassInfo._primitive_ctor(stmt.value)):
+            names.add(stmt.targets[0].id)
+    return names
+
+
+def _method_tags(method: ast.FunctionDef) -> List[str]:
+    """The ``:guarded-by:`` specs declared in a method docstring."""
+    return _TAG_RE.findall(docstring_of(method))
+
+
+def _peer_params(method: ast.FunctionDef, class_name: str) -> Set[str]:
+    """Parameters annotated as instances of the enclosing class."""
+    peers = set()
+    args = method.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        ann = arg.annotation
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value
+        elif isinstance(ann, ast.Name):
+            text = ann.id
+        else:
+            continue
+        if text.strip("'\" ") == class_name:
+            peers.add(arg.arg)
+    return peers
+
+
+@register
+class LockDisciplinePass(AnalysisPass):
+    """Guarded-attribute access + caller-must-hold + acquisition order."""
+
+    pass_id = "lock-discipline"
+    description = ("guarded state accessed under its declared lock; "
+                   "lock-order inversions in the static acquisition graph")
+
+    def __init__(self):
+        # (src_label, dst_label) -> "path:line" of the first occurrence
+        self.edges: Dict[Tuple[str, str], str] = {}
+
+    def run(self, module: SourceModule) -> List[Finding]:
+        """Check every class of one module; feed the acquisition graph."""
+        findings: List[Finding] = []
+        mod_locks = _module_locks(module.tree)
+        for cls_node in iter_classes(module.tree):
+            info = _ClassInfo(cls_node)
+            findings.extend(self._validate_guards(module, info))
+            for method in iter_methods(cls_node):
+                findings.extend(self._check_method(module, info, method,
+                                                   mod_locks))
+        return findings
+
+    def _validate_guards(self, module: SourceModule,
+                         info: _ClassInfo) -> List[Finding]:
+        findings = []
+        for attr, spec in info.guarded.items():
+            if "." in spec:
+                continue  # external lock — declarative, tag-enforced
+            if info.resolve(spec) not in {info.resolve(l) for l in info.locks}:
+                findings.append(Finding(
+                    pass_id=self.pass_id, rule="unknown-lock",
+                    path=module.relpath, line=info.guard_lineno,
+                    symbol=info.name,
+                    message=(f"_GUARDED_BY maps {attr!r} to {spec!r}, which "
+                             f"is not a threading primitive of {info.name}")))
+        return findings
+
+    def _check_method(self, module: SourceModule, info: _ClassInfo,
+                      method: ast.FunctionDef,
+                      mod_locks: Set[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        symbol = f"{info.name}.{method.name}"
+        receivers = {"self"} | _peer_params(method, info.name)
+        held: List[Tuple] = []
+        tag_specs = _method_tags(method)
+        for spec in tag_specs:
+            if "." in spec:
+                held.append(("ext", spec))
+            elif spec in info.locks or spec in info.aliases:
+                held.append(("recv", "self", info.resolve(spec), info.name))
+            else:
+                findings.append(Finding(
+                    pass_id=self.pass_id, rule="unknown-lock",
+                    path=module.relpath, line=method.lineno, symbol=symbol,
+                    message=(f":guarded-by: names {spec!r}, which is not a "
+                             f"threading primitive of {info.name}")))
+
+        def lock_token(expr: ast.AST) -> Optional[Tuple]:
+            """Held-lock token for a with-item context expression."""
+            if (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id in receivers
+                    and info.resolve(expr.attr) in
+                        {info.resolve(l) for l in info.locks}):
+                return ("recv", expr.value.id, info.resolve(expr.attr),
+                        info.name)
+            if isinstance(expr, ast.Name) and expr.id in mod_locks:
+                return ("mod", module.relpath, expr.id)
+            return None
+
+        def acquire(token: Tuple, lineno: int, via_ordered: bool) -> None:
+            """Record one acquisition: same-lock rules + graph edges."""
+            label = _label(token)
+            for prior in held:
+                if prior[0] == "recv" and token[0] == "recv" \
+                        and prior[1] == token[1] and prior[2] == token[2]:
+                    findings.append(Finding(
+                        pass_id=self.pass_id, rule="lock-reacquire",
+                        path=module.relpath, line=lineno, symbol=symbol,
+                        message=(f"{token[1]}.{token[2]} acquired while "
+                                 f"already held (non-reentrant deadlock)")))
+                    return
+                prior_label = _label(prior)
+                if (not via_ordered and prior_label is not None
+                        and prior_label == label):
+                    findings.append(Finding(
+                        pass_id=self.pass_id, rule="unordered-acquisition",
+                        path=module.relpath, line=lineno, symbol=symbol,
+                        message=(f"two {label} peer locks acquired in "
+                                 f"arbitrary order; use "
+                                 f"ordered({prior[1]}.{prior[2]}, "
+                                 f"{token[1]}.{token[2]}) for a canonical "
+                                 f"id()-ordered acquisition")))
+                    return
+                if prior_label is not None and label is not None \
+                        and prior_label != label:
+                    self.edges.setdefault(
+                        (prior_label, label), f"{module.relpath}:{lineno}")
+            held.append(token)
+
+        def enter_with(node: ast.With, lineno: int) -> int:
+            """Push tokens for one with-statement; return count pushed."""
+            pushed = 0
+            for item in node.items:
+                expr = item.context_expr
+                if (isinstance(expr, ast.Call)
+                        and (dotted_name(expr.func).split(".")[-1]
+                             in _ORDERED_HELPERS)):
+                    before = len(held)
+                    for arg in expr.args:
+                        token = lock_token(arg)
+                        if token is not None:
+                            acquire(token, lineno, via_ordered=True)
+                    pushed += len(held) - before
+                    continue
+                token = lock_token(expr)
+                if token is not None:
+                    before = len(held)
+                    acquire(token, lineno, via_ordered=False)
+                    pushed += len(held) - before
+            return pushed
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)) and node is not method:
+                # Closures run later, under unknown locks: conservative reset.
+                saved = list(held)
+                held.clear()
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                held.extend(saved)
+                return
+            if isinstance(node, ast.With):
+                pushed = enter_with(node, node.lineno)
+                for child in node.body:
+                    visit(child)
+                for _ in range(pushed):
+                    held.pop()
+                return
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in receivers
+                    and node.attr in info.guarded):
+                recv = node.value.id
+                spec = info.guarded[node.attr]
+                exempt = (recv == "self" and method.name in _EXEMPT_METHODS)
+                if not exempt:
+                    if "." in spec:
+                        ok = ("ext", spec) in held
+                    else:
+                        ok = ("recv", recv, info.resolve(spec),
+                              info.name) in held
+                    if not ok:
+                        hint = (f"a ':guarded-by: {spec}' tag"
+                                if "." in spec else
+                                f"'with {recv}.{spec}:' (or a "
+                                f"':guarded-by: {spec}' tag)")
+                        findings.append(Finding(
+                            pass_id=self.pass_id, rule="unguarded-access",
+                            path=module.relpath, line=node.lineno,
+                            symbol=symbol,
+                            message=(f"{recv}.{node.attr} is guarded by "
+                                     f"{spec!r} but accessed outside "
+                                     f"{hint}")))
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        for stmt in method.body:
+            visit(stmt)
+        return findings
+
+    def finalize(self) -> List[Finding]:
+        """Cycle detection over the whole-project acquisition graph."""
+        graph: Dict[str, List[str]] = {}
+        for (src, dst) in self.edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        findings: List[Finding] = []
+        color: Dict[str, int] = {}
+        stack: List[str] = []
+        reported: Set[frozenset] = set()
+
+        def dfs(node: str) -> None:
+            color[node] = 1
+            stack.append(node)
+            for nxt in graph[node]:
+                if color.get(nxt, 0) == 0:
+                    dfs(nxt)
+                elif color.get(nxt) == 1:
+                    cycle = stack[stack.index(nxt):] + [nxt]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        where = self.edges.get((node, nxt), "")
+                        path, _, line = where.rpartition(":")
+                        findings.append(Finding(
+                            pass_id=self.pass_id, rule="lock-order-cycle",
+                            path=path or "<project>",
+                            line=int(line) if line.isdigit() else 1,
+                            symbol=" -> ".join(cycle),
+                            message=("lock-order inversion: acquisition "
+                                     "graph cycle " + " -> ".join(cycle))))
+            stack.pop()
+            color[node] = 2
+
+        for node in sorted(graph):
+            if color.get(node, 0) == 0:
+                dfs(node)
+        return findings
